@@ -1,0 +1,30 @@
+"""Shared benchmark helpers: result persistence under results/."""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory where benchmarks archive their regenerated figures."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_figure(results_dir: Path, name: str, text: str) -> None:
+    """Persist a rendered figure and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===")
+    print(text)
+
+
+def save_csv(results_dir: Path, name: str, named_stats) -> None:
+    """Persist Tukey statistics as machine-readable CSV."""
+    from repro.analysis import stats_csv
+
+    (results_dir / f"{name}.csv").write_text(stats_csv(named_stats))

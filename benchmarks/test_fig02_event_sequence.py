@@ -1,0 +1,38 @@
+"""Regenerates paper Fig. 2: communication events and per-segment latencies.
+
+Shape targets:
+
+- every chain segment produces a latency series (no unmonitored gaps);
+- the per-segment latencies along a chain sum *exactly* to the
+  end-to-end latency measured independently at the sink -- the gap-free
+  composition property the paper's segmentation is designed for.
+"""
+
+from conftest import save_figure
+
+from repro.analysis import stats_table
+from repro.experiments.fig02_event_sequence import run_fig02
+from repro.perception.stack import SEGMENT_NAMES
+
+
+def test_fig02_event_sequence(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig02, rounds=1, iterations=1)
+
+    text = (
+        f"Fig. 2 -- per-segment latency decomposition "
+        f"({result.n_frames} activations)\n\n"
+        + stats_table(result.segment_stats)
+    )
+    save_figure(results_dir, "fig02_event_sequence", text)
+
+    for name in SEGMENT_NAMES:
+        assert name in result.segment_stats, f"no latencies for {name}"
+        assert result.segment_stats[name].n >= result.n_frames - 2
+
+    # Gap-free composition: segment latencies sum to the end-to-end
+    # latency (both measured on the global trace clock -> exact).
+    assert len(result.e2e_front_objects) >= result.n_frames - 2
+    for e2e, composed in zip(
+        result.e2e_front_objects, result.composed_front_objects
+    ):
+        assert e2e == composed

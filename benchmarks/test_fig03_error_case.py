@@ -1,0 +1,49 @@
+"""Regenerates paper Fig. 3: a chain execution in an error case.
+
+The exact scripted sequence of the paper's walkthrough must emerge from
+the injected faults:
+
+1. s0 (front lidar remote segment) finishes within its budget;
+2. s1 (fusion local segment) exceeds its deadline -- rear lidar late --
+   and the handler RECOVERS by publishing the front-only cloud;
+3. s2 (fused-cloud remote segment) also fails (transmission lost) and
+   PROPAGATES;
+4. s3 goes directly into error handling (SKIPPED bookkeeping) instead of
+   waiting out its own deadline.
+"""
+
+from conftest import save_figure
+
+from repro.analysis import format_duration
+from repro.core import Outcome
+from repro.experiments.fig03_error_case import run_fig03
+
+
+def test_fig03_error_case(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig03, rounds=1, iterations=1)
+
+    lines = [f"Fig. 3 -- error-case walkthrough (fault frame {result.fault_frame})", ""]
+    lines.append("faulty activation:")
+    for name in ("s0_front", "s1_front", "s2", "s3_objects"):
+        record = result.faulty[name]
+        latency = format_duration(record.latency) if record.latency else "-"
+        lines.append(f"  {name:12s} {record.outcome.value:10s} latency={latency}")
+    lines.append("clean activation:")
+    for name in ("s0_front", "s1_front", "s2", "s3_objects"):
+        record = result.clean[name]
+        lines.append(f"  {name:12s} {record.outcome.value}")
+    save_figure(results_dir, "fig03_error_case", "\n".join(lines))
+
+    faulty = result.faulty
+    # 1. first remote segment finishes in budget.
+    assert faulty["s0_front"].outcome is Outcome.OK
+    # 2. fusion segment exceeds d_mon but recovers (front-only cloud).
+    assert faulty["s1_front"].outcome is Outcome.RECOVERED
+    # 3. the following remote segment fails and propagates (miss).
+    assert faulty["s2"].outcome is Outcome.MISS
+    # 4. s3 is informed via the error propagation event immediately.
+    assert faulty["s3_objects"].outcome is Outcome.SKIPPED
+    assert result.s3_informed_immediately
+    # Contrast: the clean activation is OK everywhere.
+    for name, record in result.clean.items():
+        assert record.outcome is Outcome.OK, name

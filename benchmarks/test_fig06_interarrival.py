@@ -1,0 +1,57 @@
+"""Regenerates paper Fig. 6: inter-arrival monitoring vs the
+synchronization-based approach.
+
+Shape targets (the paper's Sec. IV-B1 argument, quantified):
+
+- accumulating lateness: inter-arrival detects (almost) nothing while
+  absolute latency grows unboundedly; sync-based detects everything;
+- consecutive misses: inter-arrival sees only the first miss of a burst
+  (timer armed on arrivals only -> unsuitable for m > 0); sync-based
+  detects each miss;
+- benign jitter: inter-arrival false-positives with any setting tight
+  enough to be useful; sync-based raises none.
+"""
+
+from conftest import save_figure
+
+from repro.analysis import render_table
+from repro.experiments.fig06_interarrival import run_fig06
+
+
+def test_fig06_interarrival_vs_sync(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig06, rounds=1, iterations=1)
+
+    rows = []
+    for scenario, monitors in result.scores.items():
+        for label, score in monitors.items():
+            rows.append([
+                scenario,
+                label,
+                str(score.true_violations),
+                str(score.true_positives),
+                str(score.false_positives),
+                str(score.missed),
+                f"{score.detection_rate:.2f}",
+            ])
+    text = "Fig. 6 -- inter-arrival vs synchronization-based monitoring\n\n" + render_table(
+        ["scenario", "monitor", "violations", "TP", "FP", "missed", "rate"],
+        rows,
+    )
+    save_figure(results_dir, "fig06_interarrival", text)
+
+    scores = result.scores
+    acc = scores["accumulating lateness"]
+    # Inter-arrival is blind to accumulating lateness...
+    assert acc["inter-arrival"].detection_rate < 0.1
+    # ...which sync-based fully detects.
+    assert acc["sync-based"].detection_rate > 0.95
+
+    burst = scores["consecutive misses"]
+    # Inter-arrival collapses each burst to (at most) its first miss.
+    assert burst["inter-arrival"].detection_rate < 0.5
+    assert burst["sync-based"].detection_rate > 0.95
+
+    jitter = scores["benign jitter"]
+    # The tightest useful t_max_ia false-positives on benign jitter.
+    assert jitter["inter-arrival"].false_positives > 0
+    assert jitter["sync-based"].false_positives == 0

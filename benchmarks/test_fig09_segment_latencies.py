@@ -1,0 +1,53 @@
+"""Regenerates paper Fig. 9: segment latencies with/without monitoring.
+
+Shape targets (the substrate is a simulator, so absolute numbers are
+not comparable, but who-wins and by-what-factor must hold):
+
+- unmonitored latencies show a heavy tail far beyond the 100 ms deadline
+  (the paper saw up to ~600 ms);
+- monitored latencies never exceed the deadline by more than the
+  (sub-millisecond) exception-handling overshoot, guaranteeing a
+  reaction within ~100 ms of the segment's start event.
+"""
+
+from conftest import save_csv, save_figure
+
+from repro.analysis import ascii_boxplot, stats_table
+from repro.experiments.fig09_segment_latencies import run_fig09
+from repro.sim import msec
+
+
+def test_fig09_segment_latencies(benchmark, results_dir):
+    result = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+
+    text = (
+        f"Fig. 9 -- segment latencies on ECU2 "
+        f"({result.n_frames} activations, deadline "
+        f"{result.deadline // 1_000_000} ms)\n\n"
+        + stats_table(result.stats)
+        + "\n\n"
+        + ascii_boxplot(result.stats, width=64)
+        + f"\n\nexception counts: {result.exception_counts}"
+    )
+    save_figure(results_dir, "fig09_segment_latencies", text)
+    save_csv(results_dir, "fig09_segment_latencies", result.stats)
+
+    deadline = result.deadline
+    overshoot_cap = msec(1)
+    for name in ("s3_objects", "s3_ground"):
+        unmonitored = result.unmonitored[name]
+        monitored = result.monitored[name]
+        assert len(unmonitored) >= result.n_frames - 2
+        assert len(monitored) >= result.n_frames - 2
+        # The unmonitored tail blows through the deadline...
+        assert max(unmonitored) > deadline * 1.3, name
+        # ...while monitoring caps every reaction at d_mon + overshoot.
+        assert max(monitored) <= deadline + overshoot_cap, name
+    # Monitoring had something to do: exceptions actually occurred.
+    assert sum(result.exception_counts.values()) > 0
+    # The monitored median must not exceed the unmonitored one (the
+    # monitor only truncates the distribution, never inflates it).
+    for name in ("s3_objects", "s3_ground"):
+        med_mon = sorted(result.monitored[name])[len(result.monitored[name]) // 2]
+        med_unm = sorted(result.unmonitored[name])[len(result.unmonitored[name]) // 2]
+        assert med_mon <= med_unm + msec(2), name

@@ -1,0 +1,87 @@
+"""Joint budgeting across chains sharing segments (extension bench).
+
+The use case's front_objects and front_ground chains share s0_front,
+s1_front and s2 (paper Fig. 2).  Independent per-chain budgeting can
+assign the shared segments different deadlines; the deployment needs
+one.  This bench runs the measurement pass once, solves each chain
+separately, reconciles the solutions (per-segment maximum, re-verified)
+and cross-checks against the exact joint solver -- asserting the final
+assignment satisfies *both* chains' Eqs. (3)-(5).
+"""
+
+from conftest import save_figure
+
+from repro.analysis import format_duration, render_table
+from repro.budgeting import (
+    BudgetingProblem,
+    reconcile_independent,
+    solve_independent,
+    solve_joint,
+)
+from repro.experiments.common import interference_governor
+from repro.perception import PerceptionStack, StackConfig
+from repro.sim import msec
+from repro.tracing.analysis import chain_trace_from_tracer
+
+N_FRAMES = 250
+
+
+def run_multichain():
+    measure = PerceptionStack(StackConfig(
+        seed=41,
+        monitoring=False,
+        ecu2_governor=interference_governor(
+            slow_min=0.45, slow_max=0.7, mean_interval_ms=600, mean_dwell_ms=30
+        ),
+    ))
+    measure.run(n_frames=N_FRAMES, settle=msec(1500))
+    problems = []
+    for chain_name in ("front_objects", "front_ground"):
+        chain = measure.chains[chain_name]
+        trace = chain_trace_from_tracer(measure.tracer, chain, d_ex=msec(1))
+        problems.append(BudgetingProblem(chain, trace, propagation=[0] * 4))
+    solutions = [solve_independent(p) for p in problems]
+    merged = reconcile_independent(problems, solutions)
+    joint = solve_joint(problems)
+    return problems, solutions, merged, joint
+
+
+def test_multichain_budgeting(benchmark, results_dir):
+    problems, solutions, merged, joint = benchmark.pedantic(
+        run_multichain, rounds=1, iterations=1
+    )
+
+    rows = []
+    for problem, solution in zip(problems, solutions):
+        for name, deadline in zip(problem.order, solution.deadlines):
+            rows.append([problem.chain.name, name, format_duration(deadline)])
+    text = (
+        "Multi-chain budgeting (front_objects + front_ground, shared "
+        "s0_front/s1_front/s2)\n\n"
+        + render_table(["chain", "segment", "independent d"], rows)
+        + "\n\nreconciled: "
+        + (
+            ", ".join(
+                f"{k}={format_duration(v)}" for k, v in sorted(merged.deadlines.items())
+            )
+            if merged.schedulable
+            else f"CONFLICT -> joint solver: {joint.schedulable}"
+        )
+        + f"\njoint solver total: "
+        + (format_duration(joint.total) if joint.schedulable else "unschedulable")
+    )
+    save_figure(results_dir, "multichain_budgeting", text)
+
+    assert all(s.schedulable for s in solutions)
+    assert joint.schedulable
+    # The winning assignment satisfies both chains.
+    final = merged.deadlines if merged.schedulable else joint.deadlines
+    for problem in problems:
+        assignment = [final[name] for name in problem.order]
+        assert problem.check(assignment).feasible
+    # Shared segments have exactly one deadline.
+    shared = {"s0_front", "s1_front", "s2"}
+    assert shared <= set(final)
+    # Joint never exceeds the reconciled total (when both succeed).
+    if merged.schedulable:
+        assert joint.total <= merged.total

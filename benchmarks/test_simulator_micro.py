@@ -1,0 +1,103 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper figure -- these guard the performance of the machinery all
+experiments stand on: kernel event throughput, scheduler context
+switches, full DDS pub/sub round trips.  Regressions here multiply into
+every experiment's wall time.
+"""
+
+from repro.dds import DdsDomain, Topic
+from repro.ros import Node
+from repro.sim import (
+    Compute,
+    Ecu,
+    MulticoreScheduler,
+    Semaphore,
+    Simulator,
+    Sleep,
+    WaitSem,
+    msec,
+    usec,
+)
+
+
+def test_kernel_event_throughput(benchmark):
+    """Schedule-and-fire cost of one kernel event."""
+
+    def run_batch():
+        sim = Simulator()
+        for i in range(1000):
+            sim.schedule_at(i, lambda: None)
+        sim.run()
+
+    benchmark(run_batch)
+
+
+def test_scheduler_context_switch_cost(benchmark):
+    """Two threads ping-ponging via semaphores: 2000 switches."""
+
+    def run_pingpong():
+        sim = Simulator()
+        sched = MulticoreScheduler(sim, n_cores=1)
+        a_sem = Semaphore(sim, initial=1)
+        b_sem = Semaphore(sim)
+
+        def ping(_):
+            for _i in range(500):
+                yield WaitSem(a_sem)
+                b_sem.post()
+
+        def pong(_):
+            for _i in range(500):
+                yield WaitSem(b_sem)
+                a_sem.post()
+
+        sched.spawn("ping", ping, priority=2)
+        sched.spawn("pong", pong, priority=1)
+        sim.run()
+
+    benchmark(run_pingpong)
+
+
+def test_preemption_heavy_workload(benchmark):
+    """A low-priority hog preempted by a periodic high-priority task."""
+
+    def run_preempt():
+        sim = Simulator()
+        sched = MulticoreScheduler(sim, n_cores=1)
+
+        def hog(_):
+            for _i in range(20):
+                yield Compute(msec(5))
+
+        def periodic(_):
+            for _i in range(100):
+                yield Sleep(msec(1))
+                yield Compute(usec(100))
+
+        sched.spawn("hog", hog, priority=1)
+        sched.spawn("periodic", periodic, priority=10)
+        sim.run()
+
+    benchmark(run_preempt)
+
+
+def test_dds_pubsub_roundtrip(benchmark):
+    """100 local publish->deliver->executor->callback round trips."""
+
+    def run_roundtrip():
+        sim = Simulator()
+        ecu = Ecu(sim, "e", n_cores=2)
+        domain = DdsDomain(sim, local_latency=usec(10))
+        talker = Node(domain, ecu, "talker", priority=10)
+        listener = Node(domain, ecu, "listener", priority=9)
+        topic = Topic("t")
+        count = []
+        listener.create_subscription(topic, lambda s: count.append(1))
+        pub = talker.create_publisher(topic)
+        for i in range(100):
+            sim.schedule_at(i * usec(50), pub.publish, i)
+        sim.run()
+        assert len(count) == 100
+
+    benchmark(run_roundtrip)

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Inter-arrival vs synchronization-based remote monitoring (Fig. 6).
+
+Drives both monitors with identical arrival schedules across the three
+regimes the paper discusses -- accumulating lateness, consecutive
+misses, benign jitter -- and scores them against ground truth, then
+shows the Fig. 12 effect: the same synchronization-based monitor's
+exception-entry latency in the middleware context vs forwarded to the
+high-priority monitor thread.
+
+Run:  python examples/remote_monitoring_comparison.py
+"""
+
+from repro.analysis import format_duration, render_table, stats_table
+from repro.experiments.fig06_interarrival import run_fig06
+from repro.experiments.fig12_remote_entry import run_fig12
+
+
+def main() -> None:
+    print("scoring monitors over three arrival regimes (Fig. 6) ...\n")
+    fig6 = run_fig06(n_frames=150)
+    rows = []
+    for scenario, monitors in fig6.scores.items():
+        for label, score in monitors.items():
+            rows.append([
+                scenario, label,
+                str(score.true_violations),
+                str(score.true_positives),
+                str(score.false_positives),
+                str(score.missed),
+                f"{score.detection_rate:.2f}",
+            ])
+    print(render_table(
+        ["scenario", "monitor", "violations", "TP", "FP", "missed", "rate"],
+        rows,
+    ))
+    print(
+        "\nreading: inter-arrival monitoring is blind to accumulating\n"
+        "lateness and to all-but-the-first of consecutive misses, and\n"
+        "false-positives on benign jitter -- 'more suitable for liveliness\n"
+        "rather than latency' (paper Sec. IV-B1)."
+    )
+
+    print("\nexception-entry latency by timeout context (Fig. 12) ...\n")
+    fig12 = run_fig12(n_periods=300, load=0.5)
+    print(stats_table(fig12.stats))
+    print(
+        "\nreading: timeout routines inside the middleware are exposed to\n"
+        "scheduling interference; forwarding to the high-priority monitor\n"
+        "thread (paper Sec. V-B) keeps the reaction time bounded."
+    )
+
+
+if __name__ == "__main__":
+    main()

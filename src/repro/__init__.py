@@ -1,0 +1,27 @@
+"""repro -- reproduction of "Online latency monitoring of time-sensitive
+event chains in safety-critical applications" (Peeck, Schlatow, Ernst;
+DATE 2021).
+
+The package implements the paper's decentralized end-to-end latency
+monitoring for event chains with weakly-hard (m,k) constraints, together
+with every substrate its evaluation depends on:
+
+- :mod:`repro.sim` -- deterministic discrete-event execution platform
+  (preemptive fixed-priority multicore scheduling, frequency scaling).
+- :mod:`repro.network` -- inter-ECU links and PTP-style clock sync.
+- :mod:`repro.dds` -- a DDS-like publish/subscribe middleware with QoS.
+- :mod:`repro.ros` -- a minimal ROS2-like node/executor layer.
+- :mod:`repro.core` -- the contribution: event chains, segments, local and
+  remote monitors, temporal exceptions, (m,k) supervision.
+- :mod:`repro.budgeting` -- trace-based segment-deadline synthesis
+  (the constraint-satisfaction problem of the paper's Eqs. 2-7).
+- :mod:`repro.perception` -- an Autoware.Auto-like dual-lidar perception
+  workload used by the evaluation.
+- :mod:`repro.tracing` -- LTTng-like tracing and latency reconstruction.
+- :mod:`repro.ipc` -- a real (non-simulated) shared-memory monitor used
+  for overhead measurements.
+- :mod:`repro.analysis` -- Tukey/boxplot statistics and report rendering.
+- :mod:`repro.experiments` -- one module per paper figure.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,32 @@
+"""Statistics and reporting for experiment results.
+
+The paper reports its evaluation as Tukey boxplots (Figs. 9-12).
+:mod:`repro.analysis.stats` computes the identical statistics (median,
+quartiles, 1.5 IQR whiskers, outliers); :mod:`repro.analysis.report`
+renders them as text tables and ASCII boxplots so every benchmark can
+print the figure it reproduces.
+"""
+
+from repro.analysis.stats import TukeyStats, summarize
+from repro.analysis.report import (
+    ascii_boxplot,
+    format_duration,
+    render_table,
+    series_csv,
+    stats_csv,
+    stats_table,
+)
+from repro.analysis.timeline import TimelineRecorder, render_timeline
+
+__all__ = [
+    "TukeyStats",
+    "summarize",
+    "ascii_boxplot",
+    "format_duration",
+    "render_table",
+    "series_csv",
+    "stats_csv",
+    "stats_table",
+    "TimelineRecorder",
+    "render_timeline",
+]

@@ -1,0 +1,118 @@
+"""ASCII execution timelines from scheduler observations.
+
+A :class:`TimelineRecorder` attaches to a scheduler's observer hook and
+records dispatch/preempt/exit transitions; :func:`render_timeline`
+draws a Gantt-like per-thread lane chart -- the quickest way to see
+*why* a segment ran late (who held the cores, when the monitor thread
+got in).
+
+::
+
+    ecu2.classifier.executor |   ######==####          |
+    ecu2.monitor             |         #               |
+    ecu2.ksoftirq            | #    #      #           |
+
+``#`` marks running time, ``=`` marks time between a preemption and the
+next dispatch while the thread stayed runnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.report import format_duration
+from repro.sim.scheduler import MulticoreScheduler
+from repro.sim.threads import SimThread
+
+
+@dataclass
+class _Span:
+    start: int
+    end: Optional[int]
+    kind: str  # "run" or "ready"
+
+
+class TimelineRecorder:
+    """Records per-thread run/ready spans from scheduler events."""
+
+    def __init__(self, scheduler: MulticoreScheduler):
+        self.scheduler = scheduler
+        self.sim = scheduler.sim
+        self.spans: Dict[str, List[_Span]] = {}
+        self._open: Dict[str, _Span] = {}
+        scheduler.observers.append(self._on_event)
+
+    def _on_event(self, kind: str, thread: SimThread) -> None:
+        name = thread.name
+        now = self.sim.now
+        open_span = self._open.get(name)
+        if kind == "dispatch":
+            if open_span is not None:
+                open_span.end = now
+            span = _Span(start=now, end=None, kind="run")
+            self.spans.setdefault(name, []).append(span)
+            self._open[name] = span
+        elif kind == "preempt":
+            if open_span is not None:
+                open_span.end = now
+            span = _Span(start=now, end=None, kind="ready")
+            self.spans.setdefault(name, []).append(span)
+            self._open[name] = span
+        elif kind in ("exit", "block", "yield"):
+            if open_span is not None:
+                open_span.end = now
+                del self._open[name]
+
+    def close(self) -> None:
+        """Close any still-open spans at the current instant."""
+        for span in self._open.values():
+            if span.end is None:
+                span.end = self.sim.now
+        self._open.clear()
+
+    def busy_time(self, thread_name: str) -> int:
+        """Total recorded running time of one thread."""
+        total = 0
+        for span in self.spans.get(thread_name, []):
+            if span.kind == "run" and span.end is not None:
+                total += span.end - span.start
+        return total
+
+
+def render_timeline(
+    recorder: TimelineRecorder,
+    t0: int,
+    t1: int,
+    width: int = 72,
+    threads: Optional[List[str]] = None,
+) -> str:
+    """Draw the window [t0, t1) as per-thread lanes."""
+    if t1 <= t0:
+        raise ValueError("need t1 > t0")
+    recorder.close()
+    if threads is None:
+        threads = sorted(recorder.spans)
+    label_width = max((len(name) for name in threads), default=8)
+
+    def col(t: int) -> int:
+        frac = (t - t0) / (t1 - t0)
+        return int(max(0.0, min(1.0, frac)) * (width - 1))
+
+    lines = []
+    for name in threads:
+        cells = [" "] * width
+        for span in recorder.spans.get(name, []):
+            end = span.end if span.end is not None else t1
+            if end <= t0 or span.start >= t1:
+                continue
+            mark = "#" if span.kind == "run" else "="
+            for i in range(col(max(span.start, t0)), col(min(end, t1)) + 1):
+                if mark == "#" or cells[i] == " ":
+                    cells[i] = mark
+        lines.append(f"{name.ljust(label_width)} |{''.join(cells)}|")
+    lines.append(
+        f"{' ' * label_width}  {format_duration(t0)} .. {format_duration(t1)}"
+        f"  (#=running, ==preempted/ready)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Trace-based segment-deadline synthesis (paper Sec. III-C).
+
+Workflow:
+
+1. Record latency traces ``L^si`` per segment from an *unmonitored* run
+   (:mod:`repro.budgeting.traces`), extend them by the exception-handling
+   WCRT: ``l' = l + d_ex``.
+2. Pose the constraint-satisfaction problem of Eqs. (2)-(7)
+   (:mod:`repro.budgeting.csp`): find minimum total deadlines ``d^si``
+   subject to the end-to-end budget (Eq. 3), the throughput bound
+   (Eq. 4) and the windowed (m,k) miss constraints with propagation
+   factors ``p_l in {0, 1}`` (Eqs. 5-7).
+3. Solve (:mod:`repro.budgeting.solvers`): for ``p = 0`` the problem
+   splits into exact single-variable problems per segment; for ``p = 1``
+   a greedy descent heuristic and an exact branch-and-bound are
+   provided (the paper defers this case to "heuristic methods or ILP").
+4. Optionally distribute leftover budget
+   (:mod:`repro.budgeting.distribution`) and deploy via
+   :meth:`repro.core.chains.EventChain.with_deadlines`.
+"""
+
+from repro.budgeting.traces import ChainTrace, SegmentTrace
+from repro.budgeting.windows import (
+    miss_series,
+    propagated_window_misses,
+    window_miss_profile,
+)
+from repro.budgeting.csp import BudgetingProblem, FeasibilityReport
+from repro.budgeting.solvers import (
+    SolverResult,
+    minimal_deadline,
+    solve_branch_and_bound,
+    solve_greedy_propagated,
+    solve_independent,
+)
+from repro.budgeting.distribution import distribute_slack
+from repro.budgeting.multichain import (
+    MultiChainResult,
+    reconcile_independent,
+    solve_joint,
+)
+
+__all__ = [
+    "ChainTrace",
+    "SegmentTrace",
+    "miss_series",
+    "propagated_window_misses",
+    "window_miss_profile",
+    "BudgetingProblem",
+    "FeasibilityReport",
+    "SolverResult",
+    "minimal_deadline",
+    "solve_branch_and_bound",
+    "solve_greedy_propagated",
+    "solve_independent",
+    "distribute_slack",
+    "MultiChainResult",
+    "reconcile_independent",
+    "solve_joint",
+]

@@ -1,0 +1,154 @@
+"""The budgeting constraint-satisfaction problem (paper Eqs. 2-7).
+
+find        d^si in N                       for all si in Sc        (2)
+subject to  B_e2e >= sum(d^si)                                      (3)
+            B_seg >= d^si                                           (4)
+            m >= max_n M_i(n)               for all si in Sc        (5)
+
+with m_i(n) the misses of segment i within the window starting at n
+(Eq. 6) and M_i(n) adding propagated misses of preceding segments
+(Eq. 7).  A chain is *schedulable* iff an assignment exists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.budgeting.traces import ChainTrace
+from repro.budgeting.windows import miss_series, propagated_window_misses
+from repro.core.chains import EventChain
+
+
+@dataclass
+class FeasibilityReport:
+    """Outcome of checking one deadline assignment."""
+
+    feasible: bool
+    violated_constraints: List[str] = field(default_factory=list)
+    #: max_n M_i(n) per segment (Eq. 5 left-hand sides).
+    window_misses: List[int] = field(default_factory=list)
+    deadline_sum: int = 0
+
+
+class BudgetingProblem:
+    """One chain's deadline-synthesis instance.
+
+    Parameters
+    ----------
+    chain:
+        The chain (provides B_e2e, B_seg, (m,k) and segment order).
+    trace:
+        Aligned per-segment traces; extended latencies are derived from
+        each trace's ``d_ex``.
+    propagation:
+        ``p_l`` per segment (chain order).  Defaults to all 1 (worst
+        case: every miss propagates).
+    """
+
+    def __init__(
+        self,
+        chain: EventChain,
+        trace: ChainTrace,
+        propagation: Optional[Sequence[int]] = None,
+    ):
+        self.chain = chain
+        self.order = [segment.name for segment in chain.segments]
+        self.trace = trace.aligned()
+        if self.trace.length == 0:
+            raise ValueError("empty trace")
+        if propagation is None:
+            propagation = [1] * len(self.order)
+        if len(propagation) != len(self.order):
+            raise ValueError(
+                f"need {len(self.order)} propagation factors, got {len(propagation)}"
+            )
+        self.propagation = list(propagation)
+        self.extended = self.trace.extended_matrix(self.order)
+
+    @property
+    def m(self) -> int:
+        """Tolerated misses of the chain's (m,k) constraint."""
+        return self.chain.mk.m
+
+    @property
+    def k(self) -> int:
+        """Window length of the chain's (m,k) constraint."""
+        return self.chain.mk.k
+
+    def candidates(self, segment_index: int) -> List[int]:
+        """Sorted distinct deadline candidates for one segment.
+
+        Only the distinct extended latencies (clipped to B_seg) matter:
+        between two consecutive observed values the miss set does not
+        change, so the minimal deadline is always one of these values
+        (or B_seg when the maximum exceeds it).  The minimum candidate 1
+        represents "every activation misses", which is admissible when
+        m is large enough.
+        """
+        assert self.chain.budget_seg is not None
+        values = sorted(set(self.extended[segment_index]))
+        if not values or values[0] > 1:
+            values.insert(0, 1)
+        clipped = [value for value in values if value <= self.chain.budget_seg]
+        if len(clipped) < len(values) and (
+            not clipped or clipped[-1] != self.chain.budget_seg
+        ):
+            clipped.append(self.chain.budget_seg)
+        if not clipped:
+            clipped = [self.chain.budget_seg]
+        return clipped
+
+    def check(self, deadlines: Sequence[int]) -> FeasibilityReport:
+        """Verify Eqs. (3)-(5) for one assignment of total deadlines."""
+        if len(deadlines) != len(self.order):
+            raise ValueError(
+                f"need {len(self.order)} deadlines, got {len(deadlines)}"
+            )
+        violated: List[str] = []
+        total = int(sum(deadlines))
+        if total > self.chain.budget_e2e:
+            violated.append(
+                f"Eq.3: sum(d)={total} > B_e2e={self.chain.budget_e2e}"
+            )
+        assert self.chain.budget_seg is not None
+        for name, deadline in zip(self.order, deadlines):
+            if deadline > self.chain.budget_seg:
+                violated.append(
+                    f"Eq.4: d[{name}]={deadline} > B_seg={self.chain.budget_seg}"
+                )
+            if deadline <= 0:
+                violated.append(f"Eq.2: d[{name}] must be positive")
+        miss_matrix = [
+            miss_series(extended, deadline)
+            for extended, deadline in zip(self.extended, deadlines)
+        ]
+        window_misses = propagated_window_misses(
+            miss_matrix, self.k, self.propagation
+        )
+        for name, worst in zip(self.order, window_misses):
+            if worst > self.m:
+                violated.append(
+                    f"Eq.5: segment {name} sees {worst} window misses > m={self.m}"
+                )
+        return FeasibilityReport(
+            feasible=not violated,
+            violated_constraints=violated,
+            window_misses=window_misses,
+            deadline_sum=total,
+        )
+
+    def monitored_deadlines(self, deadlines: Sequence[int]) -> Dict[str, int]:
+        """Split total deadlines into ``d_mon`` per segment
+        (``d_mon = d - d_ex``)."""
+        out = {}
+        for name, deadline in zip(self.order, deadlines):
+            d_ex = self.trace[name].d_ex
+            d_mon = deadline - d_ex
+            if d_mon <= 0:
+                raise ValueError(
+                    f"{name}: deadline {deadline} leaves no monitored "
+                    f"budget after d_ex={d_ex}"
+                )
+            out[name] = d_mon
+        return out

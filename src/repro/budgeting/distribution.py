@@ -1,0 +1,88 @@
+"""Distributing leftover end-to-end budget over segment deadlines.
+
+The solvers return *minimal* deadlines; any slack
+``B_e2e - sum(d)`` can be given back to segments to reduce exception
+rates (every added nanosecond of deadline can only remove misses).
+Raising deadlines never violates Eq. (5) -- misses shrink monotonically
+-- so any distribution respecting Eq. (3) and Eq. (4) stays feasible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def distribute_slack(
+    deadlines: Sequence[int],
+    budget_e2e: int,
+    budget_seg: int,
+    strategy: str = "proportional",
+    weights: Sequence[float] = (),
+) -> List[int]:
+    """Return deadlines inflated to consume the remaining budget.
+
+    Strategies
+    ----------
+    ``"none"``
+        Keep the minimal deadlines.
+    ``"equal"``
+        Split slack evenly (respecting the B_seg cap per segment).
+    ``"proportional"``
+        Split slack proportionally to the minimal deadlines (segments
+        with larger variability typically have larger minima).
+    ``"weighted"``
+        Split by explicit *weights*.
+    """
+    deadlines = list(deadlines)
+    if strategy == "none":
+        return deadlines
+    slack = budget_e2e - sum(deadlines)
+    if slack < 0:
+        raise ValueError(f"deadlines already exceed budget by {-slack}")
+    if slack == 0:
+        return deadlines
+    if strategy == "equal":
+        weights = [1.0] * len(deadlines)
+    elif strategy == "proportional":
+        weights = [float(max(1, d)) for d in deadlines]
+    elif strategy == "weighted":
+        if len(weights) != len(deadlines):
+            raise ValueError("need one weight per segment")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    result = list(deadlines)
+    remaining = slack
+    # Iterate because the B_seg cap can push slack to other segments.
+    for _round in range(len(deadlines) + 1):
+        if remaining <= 0:
+            break
+        headroom = [budget_seg - d for d in result]
+        open_weights = [
+            w if h > 0 else 0.0 for w, h in zip(weights, headroom)
+        ]
+        total_weight = sum(open_weights)
+        if total_weight == 0:
+            break
+        distributed = 0
+        for i, (w, h) in enumerate(zip(open_weights, headroom)):
+            if w == 0:
+                continue
+            share = min(h, int(remaining * w / total_weight))
+            result[i] += share
+            distributed += share
+        if distributed == 0:
+            # Integer rounding stalls: give the remainder to the first
+            # segment with headroom.
+            for i, h in enumerate(budget_seg - d for d in result):
+                if h > 0:
+                    bump = min(h, remaining)
+                    result[i] += bump
+                    distributed += bump
+                    break
+        remaining -= distributed
+        if distributed == 0:
+            break
+    return result

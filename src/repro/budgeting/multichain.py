@@ -1,0 +1,166 @@
+"""Joint budgeting of multiple chains with shared segments.
+
+The paper's use case has four chains sharing all but their first two
+segments (its Fig. 2).  Budgeting each chain in isolation can assign
+*different* deadlines to a shared segment; a deployment needs one
+deadline per segment such that **every** chain's Eqs. (3)-(5) hold.
+
+The joint problem remains a search over per-segment candidate
+deadlines; this module solves it with the same branch-and-bound
+machinery, searching over the union of segments and checking every
+chain's constraints.  For the common case where the solutions do not
+conflict, :func:`reconcile_independent` is a cheap first attempt: take
+the per-chain solutions' maximum per shared segment and re-verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.budgeting.csp import BudgetingProblem
+from repro.budgeting.solvers import SolverResult, minimal_deadline
+
+
+@dataclass
+class MultiChainResult:
+    """Outcome of a joint multi-chain solve."""
+
+    schedulable: bool
+    #: One deadline per segment name (union over chains).
+    deadlines: Dict[str, int] = field(default_factory=dict)
+    total: int = 0
+    reason: str = ""
+    nodes_explored: int = 0
+
+
+def _check_all(problems: Sequence[BudgetingProblem], deadlines: Dict[str, int]) -> bool:
+    for problem in problems:
+        assignment = [deadlines[name] for name in problem.order]
+        if not problem.check(assignment).feasible:
+            return False
+    return True
+
+
+def reconcile_independent(
+    problems: Sequence[BudgetingProblem],
+    solutions: Sequence[SolverResult],
+) -> MultiChainResult:
+    """Merge per-chain solutions by per-segment maximum and re-verify.
+
+    Raising a deadline never adds misses, so the merged assignment
+    satisfies every chain's Eq. (5); only the budget sums (Eq. 3) can
+    break, which the re-verification catches.
+    """
+    merged: Dict[str, int] = {}
+    for problem, solution in zip(problems, solutions):
+        if not solution.schedulable:
+            return MultiChainResult(
+                schedulable=False,
+                reason=f"chain {problem.chain.name} unschedulable alone: "
+                f"{solution.reason}",
+            )
+        for name, deadline in zip(problem.order, solution.deadlines):
+            merged[name] = max(merged.get(name, 0), deadline)
+    if not _check_all(problems, merged):
+        return MultiChainResult(
+            schedulable=False,
+            deadlines=merged,
+            reason="per-chain maxima violate some chain's budget; "
+            "use solve_joint",
+        )
+    return MultiChainResult(
+        schedulable=True,
+        deadlines=merged,
+        total=sum(merged.values()),
+    )
+
+
+def solve_joint(
+    problems: Sequence[BudgetingProblem],
+    max_nodes: int = 500_000,
+) -> MultiChainResult:
+    """Exact joint search over the union of segments.
+
+    Minimizes the sum of deadlines over all distinct segments subject to
+    every chain's Eqs. (3)-(5).  Candidates per segment are the union of
+    that segment's candidates across the chains it appears in.
+    """
+    if not problems:
+        raise ValueError("need at least one problem")
+    # Union of segments, stable order: first appearance across chains.
+    names: List[str] = []
+    candidates: Dict[str, List[int]] = {}
+    lower_bounds: Dict[str, int] = {}
+    for problem in problems:
+        for index, name in enumerate(problem.order):
+            values = problem.candidates(index)
+            if name not in candidates:
+                names.append(name)
+                candidates[name] = list(values)
+            else:
+                candidates[name] = sorted(set(candidates[name]) | set(values))
+            minimal = minimal_deadline(
+                problem.extended[index],
+                problem.k,
+                problem.m,
+                upper=problem.chain.budget_seg,
+            )
+            if minimal is None:
+                return MultiChainResult(
+                    schedulable=False,
+                    reason=f"segment {name} infeasible alone in chain "
+                    f"{problem.chain.name}",
+                )
+            lower_bounds[name] = max(lower_bounds.get(name, 0), minimal)
+
+    # Prune candidates below each segment's independent lower bound.
+    for name in names:
+        filtered = [c for c in candidates[name] if c >= lower_bounds[name]]
+        candidates[name] = filtered or [lower_bounds[name]]
+
+    suffix_min = [0] * (len(names) + 1)
+    for i in range(len(names) - 1, -1, -1):
+        suffix_min[i] = suffix_min[i + 1] + candidates[names[i]][0]
+
+    best_total: Optional[int] = None
+    best: Optional[Dict[str, int]] = None
+    nodes = 0
+
+    def dfs(i: int, partial: Dict[str, int], partial_sum: int) -> None:
+        nonlocal best_total, best, nodes
+        if nodes >= max_nodes:
+            return
+        if best_total is not None and partial_sum + suffix_min[i] >= best_total:
+            return
+        if i == len(names):
+            if _check_all(problems, partial):
+                best_total = partial_sum
+                best = dict(partial)
+            return
+        name = names[i]
+        for deadline in candidates[name]:
+            nodes += 1
+            if (
+                best_total is not None
+                and partial_sum + deadline + suffix_min[i + 1] >= best_total
+            ):
+                break
+            partial[name] = deadline
+            dfs(i + 1, partial, partial_sum + deadline)
+        del partial[name]
+
+    dfs(0, {}, 0)
+    if best is None:
+        return MultiChainResult(
+            schedulable=False,
+            reason="no joint assignment satisfies every chain"
+            + (" (node limit reached)" if nodes >= max_nodes else ""),
+            nodes_explored=nodes,
+        )
+    return MultiChainResult(
+        schedulable=True,
+        deadlines=best,
+        total=best_total or 0,
+        nodes_explored=nodes,
+    )

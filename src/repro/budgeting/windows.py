@@ -1,0 +1,84 @@
+"""Windowed miss counting with propagation (paper Eqs. 5-7).
+
+Given candidate deadlines, a segment's *miss series* marks every
+activation whose extended latency exceeds its deadline (Eq. 6 counts
+these within sliding windows of k).  Eq. (7) adds, per position n, the
+windowed misses of preceding segments whose propagation factor ``p_l``
+is 1 -- a recovered (p=0) miss never reaches the chain level, while a
+propagated (p=1) miss consumes chain (m,k) budget wherever it happens.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+def miss_series(extended_latencies: Sequence[int], deadline: int) -> List[bool]:
+    """Eq. (6)'s indicator: activation j misses iff ``l'_j > d``."""
+    return [latency > deadline for latency in extended_latencies]
+
+
+def window_miss_profile(misses: Sequence[bool], k: int) -> List[int]:
+    """``m_i(n)``: misses within window [n, n+k) for every n.
+
+    Returns one entry per window start position (len(misses) - k + 1
+    entries for traces longer than k; a single entry otherwise).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    n = len(misses)
+    if n == 0:
+        return [0]
+    arr = np.asarray(misses, dtype=np.int64)
+    if n <= k:
+        return [int(arr.sum())]
+    csum = np.concatenate(([0], np.cumsum(arr)))
+    return [int(csum[i + k] - csum[i]) for i in range(n - k + 1)]
+
+
+def propagated_window_misses(
+    miss_matrix: Sequence[Sequence[bool]],
+    k: int,
+    propagation: Sequence[int],
+) -> List[int]:
+    """``max_n M_i(n)`` per segment (Eqs. 5-7).
+
+    Parameters
+    ----------
+    miss_matrix:
+        One miss series per segment, chain order, equal lengths.
+    k:
+        Window length of the (m,k) constraint.
+    propagation:
+        ``p_l`` per segment (0 = always recovered, 1 = propagated).
+
+    Returns
+    -------
+    list of int
+        For each segment i, the worst-case windowed miss count
+        including propagated misses of preceding segments.
+    """
+    if len(miss_matrix) != len(propagation):
+        raise ValueError("need one propagation factor per segment")
+    for p in propagation:
+        if p not in (0, 1):
+            raise ValueError(f"propagation factor must be 0 or 1, got {p}")
+    profiles = [window_miss_profile(m, k) for m in miss_matrix]
+    lengths = {len(p) for p in profiles}
+    if len(lengths) > 1:
+        raise ValueError("miss series must share one length")
+    results: List[int] = []
+    n_windows = len(profiles[0])
+    for i in range(len(miss_matrix)):
+        worst = 0
+        for n in range(n_windows):
+            total = profiles[i][n]
+            for l in range(i):
+                if propagation[l]:
+                    total += profiles[l][n]
+            if total > worst:
+                worst = total
+        results.append(worst)
+    return results

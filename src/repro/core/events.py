@@ -1,0 +1,72 @@
+"""Communication events delimiting segments.
+
+The paper's monitors observe exactly two event types already exposed by
+the middleware API -- *publication events* and *receive events* -- plus
+the *error propagation event* a remote monitor emits towards the next
+local segment's monitor instead of a start event (Algorithm 1, line 7).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventKind(enum.Enum):
+    """Observable communication event types."""
+
+    PUBLICATION = "publication"
+    RECEIVE = "receive"
+    ERROR_PROPAGATION = "error_propagation"
+
+
+@dataclass(frozen=True)
+class EventPoint:
+    """An observation point for communication events.
+
+    Two segment boundaries are *the same point* (gap-free chaining,
+    ``e_e^{s_i} = e_st^{s_{i+1}}``) iff their EventPoints compare equal.
+
+    Parameters
+    ----------
+    topic:
+        Topic whose publication/reception is observed.
+    kind:
+        PUBLICATION or RECEIVE.
+    ecu:
+        Name of the ECU where the event is observed.
+    process:
+        Node/process observing the event.  Needed to disambiguate
+        multiple subscribers of one topic on the same ECU.
+    """
+
+    topic: str
+    kind: EventKind
+    ecu: str
+    process: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind is EventKind.ERROR_PROPAGATION:
+            raise ValueError(
+                "segments are delimited by publication/receive events; "
+                "error propagation events are runtime artefacts"
+            )
+
+    def __str__(self) -> str:
+        where = f"{self.ecu}:{self.process}" if self.process else self.ecu
+        return f"{self.kind.value}({self.topic})@{where}"
+
+
+@dataclass(frozen=True)
+class EventRecord:
+    """A timestamped occurrence of a communication event.
+
+    ``activation`` is the event's index n; under the paper's in-order
+    delivery assumption the n-th start/end event corresponds to the n-th
+    activation/completion of the segment.
+    """
+
+    point: EventPoint
+    activation: int
+    #: Local-clock timestamp at the observing ECU, ns.
+    timestamp: int

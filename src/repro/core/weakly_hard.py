@@ -1,0 +1,199 @@
+"""Weakly-hard (m,k) constraints and sliding-window miss accounting.
+
+An (m,k) constraint (Bernat/Burns/Llamosi) tolerates at most ``m``
+deadline misses within *any* ``k`` consecutive executions.  The paper
+applies it to end-to-end chain executions and -- thanks to miss
+propagation -- reuses the same (m,k) for individual segment deadlines.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Sequence
+
+
+@dataclass(frozen=True)
+class MKConstraint:
+    """At most *m* misses in any *k* consecutive executions."""
+
+    m: int
+    k: int
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError("k must be >= 1")
+        if not (0 <= self.m <= self.k):
+            raise ValueError("need 0 <= m <= k")
+
+    @property
+    def hard(self) -> bool:
+        """True when the constraint is a hard deadline (m == 0)."""
+        return self.m == 0
+
+    def satisfied_by(self, misses: Sequence[bool]) -> bool:
+        """Check a whole outcome sequence against the constraint."""
+        return satisfies_mk(misses, self.m, self.k)
+
+    def __str__(self) -> str:
+        return f"({self.m},{self.k})"
+
+
+class MissWindow:
+    """Online sliding window of the last k outcomes.
+
+    Feed outcomes with :meth:`record`; the window reports the current
+    miss count and whether the constraint has been violated at any point
+    so far.
+    """
+
+    def __init__(self, constraint: MKConstraint):
+        self.constraint = constraint
+        self._window: Deque[bool] = deque(maxlen=constraint.k)
+        self._misses_in_window = 0
+        self.total = 0
+        self.total_misses = 0
+        self.violations = 0
+        #: Activation indices (0-based, counting records) of violations.
+        self.violation_indices: List[int] = []
+
+    @property
+    def misses_in_window(self) -> int:
+        """Miss count within the current window."""
+        return self._misses_in_window
+
+    @property
+    def violated(self) -> bool:
+        """True if the constraint was ever violated."""
+        return self.violations > 0
+
+    def record(self, miss: bool) -> bool:
+        """Record one outcome; return True if the window now violates.
+
+        A violation is counted at every position where the window
+        contains more than m misses.
+        """
+        if (
+            len(self._window) == self.constraint.k
+            and self._window[0]
+        ):
+            self._misses_in_window -= 1
+        self._window.append(miss)
+        if miss:
+            self._misses_in_window += 1
+            self.total_misses += 1
+        self.total += 1
+        if self._misses_in_window > self.constraint.m:
+            self.violations += 1
+            self.violation_indices.append(self.total - 1)
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<MissWindow {self.constraint} misses={self._misses_in_window} "
+            f"total={self.total_misses}/{self.total}>"
+        )
+
+
+def max_window_misses(misses: Sequence[bool], k: int) -> int:
+    """Maximum number of misses in any window of k consecutive outcomes.
+
+    Windows shorter than k (at the trace tail) are also considered --
+    they cannot exceed a full window's count, so this equals the classic
+    sliding-window maximum.  O(n).
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    best = 0
+    current = 0
+    window: Deque[bool] = deque()
+    for miss in misses:
+        window.append(miss)
+        if miss:
+            current += 1
+        if len(window) > k:
+            if window.popleft():
+                current -= 1
+        if current > best:
+            best = current
+    return best
+
+
+def satisfies_mk(misses: Sequence[bool], m: int, k: int) -> bool:
+    """True iff no window of k consecutive outcomes has more than m misses."""
+    return max_window_misses(misses, k) <= m
+
+
+def miss_indices(misses: Iterable[bool]) -> List[int]:
+    """Indices of missed executions (diagnostics helper)."""
+    return [i for i, miss in enumerate(misses) if miss]
+
+
+def max_consecutive_misses(misses: Iterable[bool]) -> int:
+    """Length of the longest run of consecutive misses."""
+    best = 0
+    current = 0
+    for miss in misses:
+        if miss:
+            current += 1
+            if current > best:
+                best = current
+        else:
+            current = 0
+    return best
+
+
+@dataclass(frozen=True)
+class ConsecutiveMissConstraint:
+    """Bernat et al.'s <m,k> variant: never more than *m* consecutive
+    misses (within any k consecutive executions; for m < k the window
+    is immaterial, so only *m* is needed here).
+
+    The paper uses the any-m-in-k (m,k) form, but consecutive-miss
+    constraints are the other common weakly-hard type for control loops
+    whose stability tolerates isolated but not back-to-back misses.
+    """
+
+    m: int
+
+    def __post_init__(self) -> None:
+        if self.m < 0:
+            raise ValueError("m must be non-negative")
+
+    def satisfied_by(self, misses: Sequence[bool]) -> bool:
+        """Check a whole outcome sequence against the constraint."""
+        return max_consecutive_misses(misses) <= self.m
+
+    def __str__(self) -> str:
+        return f"<={self.m} consecutive"
+
+
+class ConsecutiveMissWindow:
+    """Online checker for :class:`ConsecutiveMissConstraint`."""
+
+    def __init__(self, constraint: ConsecutiveMissConstraint):
+        self.constraint = constraint
+        self.current_run = 0
+        self.longest_run = 0
+        self.violations = 0
+        self.total = 0
+
+    @property
+    def violated(self) -> bool:
+        """True if the constraint was ever violated."""
+        return self.violations > 0
+
+    def record(self, miss: bool) -> bool:
+        """Record one outcome; True if the run limit is now exceeded."""
+        self.total += 1
+        if miss:
+            self.current_run += 1
+            if self.current_run > self.longest_run:
+                self.longest_run = self.current_run
+            if self.current_run > self.constraint.m:
+                self.violations += 1
+                return True
+        else:
+            self.current_run = 0
+        return False

@@ -1,0 +1,46 @@
+"""Shared experiment configuration."""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.sim import BurstyGovernor, msec
+from repro.sim.cpu import FrequencyGovernor
+
+
+def default_frames(fallback: int = 400) -> int:
+    """Number of chain activations to simulate.
+
+    Controlled by the ``REPRO_FRAMES`` environment variable; the paper's
+    Fig. 9 used ~4700 data points per segment (``REPRO_FRAMES=4700``).
+    """
+    value = os.environ.get("REPRO_FRAMES")
+    if value:
+        return max(10, int(value))
+    return fallback
+
+
+def interference_governor(
+    slow_min: float = 0.08,
+    slow_max: float = 0.4,
+    mean_interval_ms: float = 350.0,
+    mean_dwell_ms: float = 90.0,
+) -> Callable[[], FrequencyGovernor]:
+    """The ECU2 interference model used by the evaluation experiments.
+
+    Stands in for the paper's "performance and power optimizations"
+    (thread migration was already allowed; frequency scaling and
+    co-running interference produce the heavy latency tail of Fig. 9).
+    """
+
+    def factory() -> FrequencyGovernor:
+        return BurstyGovernor(
+            nominal=1.0,
+            slow_min=slow_min,
+            slow_max=slow_max,
+            mean_interval=msec(mean_interval_ms),
+            mean_dwell=msec(mean_dwell_ms),
+        )
+
+    return factory

@@ -1,0 +1,94 @@
+"""Fig. 9 -- Segment latencies on ECU2 with and without monitoring.
+
+The paper runs the Autoware.Auto perception stack on ECU2, records
+~4700 latency samples for each of the two local segments (classifier ->
+objects@rviz and classifier -> ground-points@rviz), once without
+monitoring (latencies up to ~600 ms) and once with a 100 ms segment
+deadline (reaction guaranteed within 100 ms of the start event).
+
+Shape properties asserted by the benchmark:
+
+- the unmonitored distribution has a tail far beyond the deadline;
+- the monitored distribution is capped at ``d_mon`` plus a sub-millisecond
+  exception-handling overshoot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.analysis import TukeyStats, summarize
+from repro.experiments.common import default_frames, interference_governor
+from repro.perception import PerceptionStack, StackConfig
+from repro.sim import msec
+
+SEGMENTS = ("s3_objects", "s3_ground")
+
+
+@dataclass
+class Fig9Result:
+    """Latency series and Tukey stats, paper-figure layout."""
+
+    n_frames: int
+    deadline: int
+    unmonitored: Dict[str, List[int]]
+    monitored: Dict[str, List[int]]
+    stats: Dict[str, TukeyStats]
+    exception_counts: Dict[str, int]
+
+
+def _config(seed: int, monitoring: bool, deadline: int) -> StackConfig:
+    d_mon = {
+        "s0_front": msec(10),
+        "s0_rear": msec(10),
+        "s1_front": msec(8),
+        "s1_rear": msec(8),
+        "s2": msec(10),
+        "s3_objects": deadline,
+        "s3_ground": deadline,
+    }
+    return StackConfig(
+        seed=seed,
+        monitoring=monitoring,
+        d_mon=d_mon,
+        ecu2_governor=interference_governor(),
+    )
+
+
+def run_fig09(
+    n_frames: Optional[int] = None,
+    seed: int = 42,
+    deadline: int = msec(100),
+) -> Fig9Result:
+    """Run the two Fig. 9 configurations and collect latency series."""
+    if n_frames is None:
+        n_frames = default_frames()
+
+    unmonitored_stack = PerceptionStack(_config(seed, False, deadline))
+    unmonitored_stack.run(n_frames=n_frames, settle=msec(1500))
+    unmonitored = {
+        name: unmonitored_stack.traced_latencies(name) for name in SEGMENTS
+    }
+
+    monitored_stack = PerceptionStack(_config(seed, True, deadline))
+    monitored_stack.run(n_frames=n_frames, settle=msec(1500))
+    monitored = {
+        name: monitored_stack.monitored_latencies(name) for name in SEGMENTS
+    }
+    exception_counts = {
+        name: len(monitored_stack.exception_records(name)) for name in SEGMENTS
+    }
+
+    stats = {}
+    for name in SEGMENTS:
+        stats[f"{name} (no monitor)"] = summarize(unmonitored[name])
+        stats[f"{name} (monitored)"] = summarize(monitored[name])
+    return Fig9Result(
+        n_frames=n_frames,
+        deadline=deadline,
+        unmonitored=unmonitored,
+        monitored=monitored,
+        stats=stats,
+        exception_counts=exception_counts,
+    )

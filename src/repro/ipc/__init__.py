@@ -1,0 +1,36 @@
+"""Real (non-simulated) shared-memory monitoring primitives.
+
+The paper's local monitor is built from POSIX shared memory, wait-free
+ring buffers and semaphores (``sem_timedwait``); its Fig. 11 measures
+the *actual* overheads of that machinery (posting a start/end event,
+monitor wake-up latency, monitor execution time).  This package
+implements the same machinery for real on this machine:
+
+- :mod:`repro.ipc.shm` -- shared-memory region lifecycle,
+- :mod:`repro.ipc.ring_buffer` -- a wait-free SPSC ring buffer of fixed
+  event records over any buffer (shared memory or local bytearray),
+- :mod:`repro.ipc.semaphore` -- a timed-wait semaphore,
+- :mod:`repro.ipc.monitor` -- a real monitor thread with a timeout
+  queue, start/end event matching and exception callbacks.
+
+The Fig. 11 benchmark measures these with ``time.perf_counter_ns`` /
+``time.monotonic_ns``; the cross-process example in
+``examples/real_ipc_monitor.py`` runs producer processes against the
+monitor through actual shared memory.
+"""
+
+from repro.ipc.shm import SharedMemoryRegion
+from repro.ipc.ring_buffer import EventRecord, SpscRingBuffer, RECORD_SIZE
+from repro.ipc.semaphore import TimedSemaphore
+from repro.ipc.monitor import IpcMonitor, IpcSegment, MonitorStats
+
+__all__ = [
+    "SharedMemoryRegion",
+    "EventRecord",
+    "SpscRingBuffer",
+    "RECORD_SIZE",
+    "TimedSemaphore",
+    "IpcMonitor",
+    "IpcSegment",
+    "MonitorStats",
+]

@@ -1,0 +1,204 @@
+"""A real monitor thread over shared-memory ring buffers.
+
+Faithful to the paper's Sec. IV-A design:
+
+- one monitor thread per process, one semaphore;
+- per segment, two SPSC ring buffers (start events, end events);
+- instrumented code posts the current ``monotonic_ns`` timestamp into
+  the start buffer and raises the semaphore; end events are posted
+  without notification;
+- the monitor blocks in a timed wait until the earliest pending
+  deadline, drains buffers in fixed segment order, arms timeouts,
+  matches end events, and invokes the exception callback for expired
+  activations.
+
+All Fig. 11 measurements (posting overheads, monitor latency, monitor
+execution time) instrument this implementation with real clocks.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.ipc.ring_buffer import (
+    KIND_END,
+    KIND_START,
+    EventRecord,
+    SpscRingBuffer,
+)
+from repro.ipc.semaphore import TimedSemaphore
+
+ExceptionCallback = Callable[[str, int, int], None]  # (segment, activation, late_ns)
+
+
+@dataclass
+class MonitorStats:
+    """Measured behaviour of the real monitor (Fig. 11 quantities)."""
+
+    #: ns from posting a start event to the monitor processing it.
+    monitor_latencies: List[int] = field(default_factory=list)
+    #: ns the monitor spent processing per wake-up.
+    execution_times: List[int] = field(default_factory=list)
+    wakeups: int = 0
+    exceptions: int = 0
+    completions: int = 0
+    stale_end_events: int = 0
+
+
+class IpcSegment:
+    """Monitoring state of one segment (buffers + pending deadlines)."""
+
+    def __init__(
+        self,
+        name: str,
+        deadline_ns: int,
+        start_buffer: SpscRingBuffer,
+        end_buffer: SpscRingBuffer,
+    ):
+        if deadline_ns <= 0:
+            raise ValueError("deadline must be positive")
+        self.name = name
+        self.deadline_ns = deadline_ns
+        self.start_buffer = start_buffer
+        self.end_buffer = end_buffer
+        self.pending: Dict[int, int] = {}  # activation -> absolute deadline
+        self.dropped_events = 0
+
+    # -- producer-side instrumentation (any thread/process) --------------
+    def post_start(self, activation: int, semaphore: TimedSemaphore) -> int:
+        """Post a start event + notify; returns the posting cost in ns."""
+        t0 = time.perf_counter_ns()
+        ok = self.start_buffer.push(KIND_START, activation, time.monotonic_ns())
+        if ok:
+            semaphore.post()
+        else:
+            self.dropped_events += 1
+        return time.perf_counter_ns() - t0
+
+    def post_end(self, activation: int) -> int:
+        """Post an end event (no notification); returns cost in ns."""
+        t0 = time.perf_counter_ns()
+        if not self.end_buffer.push(KIND_END, activation, time.monotonic_ns()):
+            self.dropped_events += 1
+        return time.perf_counter_ns() - t0
+
+
+class IpcMonitor:
+    """The real high-priority monitor thread."""
+
+    def __init__(
+        self,
+        segments: List[IpcSegment],
+        on_exception: Optional[ExceptionCallback] = None,
+        poll_cap_s: float = 0.2,
+    ):
+        self.segments = list(segments)
+        self.semaphore = TimedSemaphore()
+        self.on_exception = on_exception or (lambda *_args: None)
+        self.poll_cap_s = poll_cap_s
+        self.stats = MonitorStats()
+        self._timeouts: List[Tuple[int, int, IpcSegment, int]] = []
+        self._seq = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Launch the monitor thread."""
+        if self._thread is not None:
+            raise RuntimeError("monitor already started")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="ipc-monitor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Stop and join the monitor thread."""
+        self._stop.set()
+        self.semaphore.post()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "IpcMonitor":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def _next_deadline(self) -> Optional[int]:
+        while self._timeouts:
+            deadline, _seq, segment, activation = self._timeouts[0]
+            if segment.pending.get(activation) == deadline:
+                return deadline
+            heapq.heappop(self._timeouts)
+        return None
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            deadline = self._next_deadline()
+            if deadline is None:
+                timeout = self.poll_cap_s
+            else:
+                timeout = min(
+                    self.poll_cap_s,
+                    max(0.0, (deadline - time.monotonic_ns()) / 1e9),
+                )
+            self.semaphore.wait(timeout_s=timeout)
+            if self._stop.is_set():
+                return
+            t_wake = time.perf_counter_ns()
+            now = time.monotonic_ns()
+            self.stats.wakeups += 1
+            # Fixed segment order, starts before ends.
+            for segment in self.segments:
+                for record in segment.start_buffer.drain():
+                    segment.pending[record.activation] = (
+                        record.timestamp_ns + segment.deadline_ns
+                    )
+                    heapq.heappush(
+                        self._timeouts,
+                        (
+                            record.timestamp_ns + segment.deadline_ns,
+                            self._seq,
+                            segment,
+                            record.activation,
+                        ),
+                    )
+                    self._seq += 1
+                    self.stats.monitor_latencies.append(
+                        now - record.timestamp_ns
+                    )
+                for record in segment.end_buffer.drain():
+                    if record.activation in segment.pending:
+                        del segment.pending[record.activation]
+                        self.stats.completions += 1
+                    else:
+                        self.stats.stale_end_events += 1
+            # Expired timeouts.
+            while True:
+                deadline = self._next_deadline()
+                now = time.monotonic_ns()
+                if deadline is None or deadline > now:
+                    break
+                _d, _s, segment, activation = heapq.heappop(self._timeouts)
+                # Re-check the end buffer right before raising.
+                for record in segment.end_buffer.drain():
+                    if record.activation in segment.pending:
+                        del segment.pending[record.activation]
+                        self.stats.completions += 1
+                    else:
+                        self.stats.stale_end_events += 1
+                if activation not in segment.pending:
+                    continue
+                del segment.pending[activation]
+                self.stats.exceptions += 1
+                self.on_exception(segment.name, activation, now - _d)
+            self.stats.execution_times.append(time.perf_counter_ns() - t_wake)

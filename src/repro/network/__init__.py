@@ -1,0 +1,38 @@
+"""Inter-ECU communication substrate.
+
+Models the Ethernet fabric between ECUs and the PTP (IEEE 1588) time
+synchronization the paper's synchronization-based remote monitoring
+relies on:
+
+- :mod:`repro.network.link` -- point-to-point links with base latency,
+  jitter, bandwidth-dependent serialization and loss; deliveries are
+  in-order per link (the paper assumes in-order middleware delivery).
+- :mod:`repro.network.ptp` -- drifting per-ECU clocks with periodic sync
+  rounds bounding the offset error to the paper's epsilon.
+- :mod:`repro.network.stack` -- the receive path: frames arrive at a NIC
+  and are processed by a ksoftirq-like thread whose scheduling priority
+  sits just below the monitor thread, exactly as configured in the
+  paper's evaluation.
+"""
+
+from repro.network.link import Frame, JitterModel, Link, LinkStats
+from repro.network.ptp import DriftingClock, PtpService
+from repro.network.stack import NetworkStack
+from repro.network.switch import (
+    BackgroundTraffic,
+    EthernetSwitch,
+    SwitchedLink,
+)
+
+__all__ = [
+    "Frame",
+    "JitterModel",
+    "Link",
+    "LinkStats",
+    "DriftingClock",
+    "PtpService",
+    "NetworkStack",
+    "BackgroundTraffic",
+    "EthernetSwitch",
+    "SwitchedLink",
+]

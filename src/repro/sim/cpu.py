@@ -1,0 +1,231 @@
+"""ECUs, cores and frequency governors.
+
+The paper's evaluation explicitly enables thread migration and frequency
+scaling ("For representing performance and power optimizations, we allowed
+thread migration between cores and frequency scaling") -- these are the
+main sources of the heavy latency tail its Fig. 9 records.  The governors
+here reproduce those effects:
+
+- :class:`ConstantGovernor` -- fixed speed (the "performance" governor).
+- :class:`OndemandGovernor` -- cores slow down when idle and ramp back up
+  with a delay, so work arriving after an idle gap executes slowly at
+  first (race-to-idle latency spikes).
+- :class:`BurstyGovernor` -- random speed excursions modelling thermal
+  throttling and co-running interference; produces the long tail.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.scheduler import Core, MulticoreScheduler, SchedulerPolicy
+from repro.sim.threads import SimThread
+
+
+class FrequencyGovernor:
+    """Base class: per-core speed policy notified of busy/idle edges."""
+
+    def attach(self, core: Core, sim: Simulator) -> None:
+        """Bind the governor to *core*; called once by the ECU."""
+        self.core = core
+        self.sim = sim
+
+    def on_core_busy(self, core: Core) -> None:
+        """Called when the core transitions idle -> busy."""
+
+    def on_core_idle(self, core: Core) -> None:
+        """Called when the core transitions busy -> idle."""
+
+
+class ConstantGovernor(FrequencyGovernor):
+    """Pin the core at a fixed speed (Linux "performance" governor)."""
+
+    def __init__(self, speed: float = 1.0):
+        if speed <= 0:
+            raise ValueError("speed must be positive")
+        self.speed = speed
+
+    def attach(self, core: Core, sim: Simulator) -> None:
+        super().attach(core, sim)
+        core.set_speed(self.speed)
+
+
+class OndemandGovernor(FrequencyGovernor):
+    """Slow down when idle, ramp up with a delay when work arrives.
+
+    Parameters
+    ----------
+    low, high:
+        Speed while (long) idle and at full ramp respectively.
+    ramp_delay:
+        Nanoseconds after becoming busy before the speed steps to *high*.
+    idle_delay:
+        Nanoseconds of idleness before the speed drops to *low*.
+    """
+
+    def __init__(
+        self,
+        low: float = 0.4,
+        high: float = 1.0,
+        ramp_delay: int = 2_000_000,
+        idle_delay: int = 5_000_000,
+    ):
+        if not (0 < low <= high):
+            raise ValueError("need 0 < low <= high")
+        self.low = low
+        self.high = high
+        self.ramp_delay = ramp_delay
+        self.idle_delay = idle_delay
+        self._ramp_event: Optional[ScheduledEvent] = None
+        self._drop_event: Optional[ScheduledEvent] = None
+
+    def attach(self, core: Core, sim: Simulator) -> None:
+        super().attach(core, sim)
+        core.set_speed(self.low)
+
+    def on_core_busy(self, core: Core) -> None:
+        if self._drop_event is not None:
+            self._drop_event.cancel()
+            self._drop_event = None
+        if core.speed < self.high and self._ramp_event is None:
+            self._ramp_event = self.sim.schedule_after(
+                self.ramp_delay, self._ramp_up, label="governor:ramp"
+            )
+
+    def on_core_idle(self, core: Core) -> None:
+        if self._ramp_event is not None:
+            self._ramp_event.cancel()
+            self._ramp_event = None
+        if self._drop_event is None and core.speed > self.low:
+            self._drop_event = self.sim.schedule_after(
+                self.idle_delay, self._drop_down, label="governor:drop"
+            )
+
+    def _ramp_up(self) -> None:
+        self._ramp_event = None
+        if not self.core.idle:
+            self.core.set_speed(self.high)
+
+    def _drop_down(self) -> None:
+        self._drop_event = None
+        if self.core.idle:
+            self.core.set_speed(self.low)
+
+
+class BurstyGovernor(FrequencyGovernor):
+    """Random speed excursions (thermal throttling / interference).
+
+    The core normally runs at ``nominal`` speed; at exponentially
+    distributed intervals it drops to a random speed in
+    ``[slow_min, slow_max]`` for an exponentially distributed dwell time.
+    """
+
+    def __init__(
+        self,
+        nominal: float = 1.0,
+        slow_min: float = 0.1,
+        slow_max: float = 0.5,
+        mean_interval: int = 200_000_000,
+        mean_dwell: int = 30_000_000,
+        rng_stream: str = "governor:bursty",
+    ):
+        if not (0 < slow_min <= slow_max <= nominal):
+            raise ValueError("need 0 < slow_min <= slow_max <= nominal")
+        self.nominal = nominal
+        self.slow_min = slow_min
+        self.slow_max = slow_max
+        self.mean_interval = mean_interval
+        self.mean_dwell = mean_dwell
+        self.rng_stream = rng_stream
+
+    def attach(self, core: Core, sim: Simulator) -> None:
+        super().attach(core, sim)
+        core.set_speed(self.nominal)
+        self._schedule_excursion()
+
+    def _schedule_excursion(self) -> None:
+        rng = self.sim.rng(f"{self.rng_stream}:{self.core.index}")
+        delay = max(1, int(rng.exponential(self.mean_interval)))
+        self.sim.schedule_after(delay, self._begin_excursion, label="governor:burst")
+
+    def _begin_excursion(self) -> None:
+        rng = self.sim.rng(f"{self.rng_stream}:{self.core.index}")
+        slow = float(rng.uniform(self.slow_min, self.slow_max))
+        dwell = max(1, int(rng.exponential(self.mean_dwell)))
+        self.core.set_speed(slow)
+        self.sim.schedule_after(dwell, self._end_excursion, label="governor:burst-end")
+
+    def _end_excursion(self) -> None:
+        self.core.set_speed(self.nominal)
+        self._schedule_excursion()
+
+
+class PerfectClock:
+    """A clock that reads exactly the simulated (global) time."""
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+
+    def now(self) -> int:
+        """Current local time in nanoseconds (== global time)."""
+        return self._sim.now
+
+
+class Ecu:
+    """An electronic control unit: cores + scheduler + local clock.
+
+    Parameters
+    ----------
+    sim:
+        Simulation kernel.
+    name:
+        Identifier (e.g. ``"ecu1"``).
+    n_cores:
+        Number of cores (the paper's testbed was a quad-core i5).
+    policy:
+        Scheduling policy; GLOBAL allows migration as in the paper.
+    governor_factory:
+        Callable producing one :class:`FrequencyGovernor` per core;
+        ``None`` leaves all cores at speed 1.0.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        n_cores: int = 4,
+        policy: SchedulerPolicy = SchedulerPolicy.GLOBAL,
+        governor_factory: Optional[Callable[[], FrequencyGovernor]] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.scheduler = MulticoreScheduler(
+            sim, n_cores=n_cores, policy=policy, name=name
+        )
+        if governor_factory is not None:
+            for core in self.scheduler.cores:
+                governor = governor_factory()
+                core.governor = governor
+                governor.attach(core, sim)
+        #: Local clock; replaced by a drifting PTP clock in network setups.
+        self.clock = PerfectClock(sim)
+
+    def now(self) -> int:
+        """Read the ECU-local clock (may differ from global sim time)."""
+        return self.clock.now()
+
+    def spawn(
+        self,
+        name: str,
+        body,
+        priority: int = 0,
+        affinity: Optional[int] = None,
+    ) -> SimThread:
+        """Create and start a thread on this ECU."""
+        return self.scheduler.spawn(
+            f"{self.name}.{name}", body, priority=priority, affinity=affinity
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Ecu {self.name} cores={len(self.scheduler.cores)}>"

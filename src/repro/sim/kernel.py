@@ -1,0 +1,265 @@
+"""Deterministic event-driven simulation kernel.
+
+The kernel keeps a priority queue of scheduled events ordered by
+``(time, priority, sequence)``.  Every piece of the simulated world --
+scheduler decisions, timer expirations, network deliveries -- is an event.
+Simulated time is an integer number of nanoseconds, which keeps arithmetic
+exact and makes traces reproducible bit-for-bit across runs with the same
+seed.
+
+Randomness is drawn from named streams.  Each stream is a
+``numpy.random.Generator`` seeded from the simulator seed and the stream
+name, so adding a new consumer of randomness never perturbs the draws seen
+by existing consumers (a classic requirement for comparable experiments).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+import numpy as np
+
+#: Number of nanoseconds per microsecond / millisecond / second.
+NS_PER_US = 1_000
+NS_PER_MS = 1_000_000
+NS_PER_S = 1_000_000_000
+
+
+def nsec(value: float) -> int:
+    """Return *value* nanoseconds as an integer duration."""
+    return int(round(value))
+
+
+def usec(value: float) -> int:
+    """Return *value* microseconds as an integer nanosecond duration."""
+    return int(round(value * NS_PER_US))
+
+
+def msec(value: float) -> int:
+    """Return *value* milliseconds as an integer nanosecond duration."""
+    return int(round(value * NS_PER_MS))
+
+
+def sec(value: float) -> int:
+    """Return *value* seconds as an integer nanosecond duration."""
+    return int(round(value * NS_PER_S))
+
+
+def fmt_time(t_ns: int) -> str:
+    """Render a nanosecond timestamp in a human-friendly unit."""
+    if abs(t_ns) >= NS_PER_S:
+        return f"{t_ns / NS_PER_S:.6f}s"
+    if abs(t_ns) >= NS_PER_MS:
+        return f"{t_ns / NS_PER_MS:.3f}ms"
+    if abs(t_ns) >= NS_PER_US:
+        return f"{t_ns / NS_PER_US:.3f}us"
+    return f"{t_ns}ns"
+
+
+@dataclass(order=True)
+class _HeapEntry:
+    time: int
+    priority: int
+    seq: int
+    event: "ScheduledEvent" = field(compare=False)
+
+
+class ScheduledEvent:
+    """Handle for an event sitting in the simulator's queue.
+
+    Cancellation is lazy: :meth:`cancel` marks the handle and the kernel
+    skips cancelled entries when they surface at the head of the heap.
+    """
+
+    __slots__ = ("callback", "args", "time", "cancelled", "label")
+
+    def __init__(
+        self,
+        callback: Callable[..., None],
+        args: tuple,
+        time: int,
+        label: str = "",
+    ) -> None:
+        self.callback = callback
+        self.args = args
+        self.time = time
+        self.cancelled = False
+        self.label = label
+
+    def cancel(self) -> None:
+        """Prevent the event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<ScheduledEvent {self.label or self.callback} @{fmt_time(self.time)} {state}>"
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (e.g. scheduling into the past)."""
+
+
+class Simulator:
+    """Event-driven simulator with integer-nanosecond time.
+
+    Parameters
+    ----------
+    seed:
+        Master seed for all named random streams.
+
+    Examples
+    --------
+    >>> sim = Simulator(seed=1)
+    >>> fired = []
+    >>> _ = sim.schedule_after(msec(5), fired.append, "hello")
+    >>> sim.run()
+    1
+    >>> (sim.now, fired)
+    (5000000, ['hello'])
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self.now: int = 0
+        self._heap: List[_HeapEntry] = []
+        self._seq = itertools.count()
+        self._rngs: Dict[str, np.random.Generator] = {}
+        self._running = False
+        self._trace_hooks: List[Callable[[str, int, dict], None]] = []
+
+    # ------------------------------------------------------------------
+    # Random streams
+    # ------------------------------------------------------------------
+    def rng(self, stream: str) -> np.random.Generator:
+        """Return the generator for the named stream (created on demand)."""
+        gen = self._rngs.get(stream)
+        if gen is None:
+            # crc32 (not hash()) so stream seeding is stable across
+            # processes: Python's str hash is salted per interpreter.
+            seed_seq = np.random.SeedSequence(
+                [self.seed, zlib.crc32(stream.encode("utf-8"))]
+            )
+            gen = np.random.default_rng(seed_seq)
+            self._rngs[stream] = gen
+        return gen
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule_at(
+        self,
+        time: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule *callback(\\*args)* to fire at absolute *time*.
+
+        Events at the same instant fire in ascending *priority* order, ties
+        broken by insertion order.  Scheduling into the past raises
+        :class:`SimulationError`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {fmt_time(time)}, "
+                f"now is {fmt_time(self.now)}"
+            )
+        event = ScheduledEvent(callback, args, time, label=label)
+        heapq.heappush(
+            self._heap, _HeapEntry(time, priority, next(self._seq), event)
+        )
+        return event
+
+    def schedule_after(
+        self,
+        delay: int,
+        callback: Callable[..., None],
+        *args: Any,
+        priority: int = 0,
+        label: str = "",
+    ) -> ScheduledEvent:
+        """Schedule *callback* to fire *delay* nanoseconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(
+            self.now + delay, callback, *args, priority=priority, label=label
+        )
+
+    def call_now(
+        self, callback: Callable[..., None], *args: Any, label: str = ""
+    ) -> ScheduledEvent:
+        """Schedule *callback* at the current instant (after current event)."""
+        return self.schedule_at(self.now, callback, *args, label=label)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next pending event.  Return False when queue is empty."""
+        while self._heap:
+            entry = heapq.heappop(self._heap)
+            if entry.event.cancelled:
+                continue
+            self.now = entry.time
+            entry.event.callback(*entry.event.args)
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once simulated time would exceed this instant.  Events at
+            exactly ``until`` still fire.  ``None`` runs until the queue
+            empties.
+        max_events:
+            Safety valve: abort with :class:`SimulationError` after this
+            many events (guards against accidental infinite event loops).
+
+        Returns
+        -------
+        int
+            The number of events that fired.
+        """
+        count = 0
+        while self._heap:
+            entry = self._heap[0]
+            if entry.event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and entry.time > until:
+                self.now = until
+                break
+            heapq.heappop(self._heap)
+            self.now = entry.time
+            entry.event.callback(*entry.event.args)
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is not None and self.now < until:
+            self.now = until
+        return count
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events in the queue."""
+        return sum(1 for e in self._heap if not e.event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Tracing hooks (used by repro.tracing)
+    # ------------------------------------------------------------------
+    def add_trace_hook(self, hook: Callable[[str, int, dict], None]) -> None:
+        """Register *hook(name, time_ns, fields)* for kernel trace points."""
+        self._trace_hooks.append(hook)
+
+    def emit_trace(self, name: str, **fields: Any) -> None:
+        """Deliver a trace point to all registered hooks."""
+        for hook in self._trace_hooks:
+            hook(name, self.now, fields)

@@ -1,0 +1,172 @@
+"""Synchronization primitives for simulated threads.
+
+The paper's local monitor blocks on a POSIX semaphore with
+``sem_timedwait()`` and is posted by instrumented publisher/subscriber
+code.  :class:`Semaphore` reproduces those semantics: waiters block with
+an optional timeout and are woken highest-priority-first, and a post by a
+low-priority thread immediately hands the CPU to a higher-priority waiter
+(via the scheduler's eager rescheduling).
+
+Any object exposing ``_try_acquire()`` and ``_enqueue(thread, timeout)``
+can be targeted by the :class:`~repro.sim.threads.WaitSem` syscall;
+:class:`EventFlag` uses that to provide a broadcast wake-up.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.kernel import ScheduledEvent, Simulator
+from repro.sim.threads import SimThread, ThreadState
+
+
+class _Waiter:
+    __slots__ = ("thread", "timeout_event")
+
+    def __init__(self, thread: SimThread, timeout_event: Optional[ScheduledEvent]):
+        self.thread = thread
+        self.timeout_event = timeout_event
+
+
+class Semaphore:
+    """Counting semaphore with timed wait (``sem_timedwait`` semantics).
+
+    Waiters are woken in priority order (highest first), FIFO among equal
+    priorities.  The yield-expression result of ``WaitSem`` is ``True`` on
+    acquisition and ``False`` on timeout.
+    """
+
+    def __init__(self, sim: Simulator, initial: int = 0, name: str = "sem"):
+        if initial < 0:
+            raise ValueError("initial count must be non-negative")
+        self.sim = sim
+        self.name = name
+        self._count = initial
+        self._waiters: List[_Waiter] = []
+        #: Statistics: number of posts that found no waiter.
+        self.posts = 0
+        self.timeouts = 0
+
+    @property
+    def count(self) -> int:
+        """Current semaphore value (0 while threads are blocked)."""
+        return self._count
+
+    @property
+    def waiting(self) -> int:
+        """Number of threads currently blocked on the semaphore."""
+        return len(self._waiters)
+
+    # -- protocol used by the scheduler's WaitSem handling ---------------
+    def _try_acquire(self) -> bool:
+        if self._count > 0:
+            self._count -= 1
+            return True
+        return False
+
+    def _enqueue(self, thread: SimThread, timeout: Optional[int]) -> None:
+        timeout_event = None
+        waiter = _Waiter(thread, None)
+        if timeout is not None:
+            timeout_event = self.sim.schedule_after(
+                timeout,
+                self._on_timeout,
+                waiter,
+                label=f"semtimeout:{self.name}:{thread.name}",
+            )
+            waiter.timeout_event = timeout_event
+        self._waiters.append(waiter)
+
+    # -- public API ------------------------------------------------------
+    def post(self) -> None:
+        """Release the semaphore, waking the best waiter if any."""
+        self.posts += 1
+        waiter = self._pop_best_waiter()
+        if waiter is None:
+            self._count += 1
+            return
+        if waiter.timeout_event is not None:
+            waiter.timeout_event.cancel()
+        waiter.thread.pending_value = True
+        waiter.thread.scheduler.make_ready(waiter.thread)
+
+    def _pop_best_waiter(self) -> Optional[_Waiter]:
+        if not self._waiters:
+            return None
+        best_index = 0
+        for i, waiter in enumerate(self._waiters[1:], start=1):
+            if waiter.thread.priority > self._waiters[best_index].thread.priority:
+                best_index = i
+        return self._waiters.pop(best_index)
+
+    def _on_timeout(self, waiter: _Waiter) -> None:
+        if waiter not in self._waiters:
+            return
+        self._waiters.remove(waiter)
+        self.timeouts += 1
+        thread = waiter.thread
+        if thread.state is ThreadState.BLOCKED:
+            thread.pending_value = False
+            thread.scheduler.make_ready(thread)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Semaphore {self.name} count={self._count} waiting={self.waiting}>"
+
+
+class EventFlag:
+    """A broadcast condition: waiters block until :meth:`set` is called.
+
+    Unlike a semaphore, ``set()`` wakes *all* current waiters and leaves
+    the flag raised until :meth:`clear`.
+    """
+
+    def __init__(self, sim: Simulator, name: str = "flag"):
+        self.sim = sim
+        self.name = name
+        self._set = False
+        self._waiters: List[_Waiter] = []
+
+    @property
+    def is_set(self) -> bool:
+        """True while the flag is raised."""
+        return self._set
+
+    def _try_acquire(self) -> bool:
+        return self._set
+
+    def _enqueue(self, thread: SimThread, timeout: Optional[int]) -> None:
+        waiter = _Waiter(thread, None)
+        if timeout is not None:
+            waiter.timeout_event = self.sim.schedule_after(
+                timeout,
+                self._on_timeout,
+                waiter,
+                label=f"flagtimeout:{self.name}:{thread.name}",
+            )
+        self._waiters.append(waiter)
+
+    def set(self) -> None:
+        """Raise the flag and wake every waiter."""
+        self._set = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            if waiter.timeout_event is not None:
+                waiter.timeout_event.cancel()
+            waiter.thread.pending_value = True
+            waiter.thread.scheduler.make_ready(waiter.thread)
+
+    def clear(self) -> None:
+        """Lower the flag; future waiters will block again."""
+        self._set = False
+
+    def _on_timeout(self, waiter: _Waiter) -> None:
+        if waiter not in self._waiters:
+            return
+        self._waiters.remove(waiter)
+        thread = waiter.thread
+        if thread.state is ThreadState.BLOCKED:
+            thread.pending_value = False
+            thread.scheduler.make_ready(thread)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<EventFlag {self.name} set={self._set} waiting={len(self._waiters)}>"

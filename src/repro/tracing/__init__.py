@@ -1,0 +1,29 @@
+"""LTTng-like tracing and offline latency reconstruction.
+
+The paper instruments the software with LTTng, records traces of an
+*unmonitored* run, and extracts segment latencies from them to feed the
+budgeting CSP (Sec. III-C: "we record one or multiple traces (without
+monitoring) to measure segment latencies").  This package mirrors that:
+
+- :class:`~repro.tracing.tracer.Tracer` subscribes to the simulator's
+  trace hooks and buffers events (middleware publish/receive, monitor
+  and scheduler events).
+- :mod:`~repro.tracing.analysis` reconstructs per-segment latency
+  series from the buffered communication events, pairing the n-th start
+  with the n-th end event (valid under in-order delivery).
+"""
+
+from repro.tracing.tracer import TraceEvent, Tracer
+from repro.tracing.analysis import (
+    endpoint_events,
+    segment_latencies_from_trace,
+    chain_trace_from_tracer,
+)
+
+__all__ = [
+    "TraceEvent",
+    "Tracer",
+    "endpoint_events",
+    "segment_latencies_from_trace",
+    "chain_trace_from_tracer",
+]

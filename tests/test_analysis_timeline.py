@@ -1,0 +1,103 @@
+"""Tests for the execution-timeline recorder and renderer."""
+
+import pytest
+
+from repro.analysis import TimelineRecorder, render_timeline
+from repro.sim import Compute, MulticoreScheduler, Simulator, Sleep, msec
+
+
+def make():
+    sim = Simulator(seed=1)
+    sched = MulticoreScheduler(sim, n_cores=1)
+    return sim, sched
+
+
+class TestRecorder:
+    def test_busy_time_matches_scheduler_accounting(self):
+        sim, sched = make()
+        recorder = TimelineRecorder(sched)
+
+        def body(_):
+            yield Compute(msec(3))
+            yield Sleep(msec(2))
+            yield Compute(msec(1))
+
+        thread = sched.spawn("worker", body)
+        sim.run()
+        recorder.close()
+        assert recorder.busy_time("worker") == thread.total_cpu_time == msec(4)
+
+    def test_preemption_creates_ready_span(self):
+        sim, sched = make()
+        recorder = TimelineRecorder(sched)
+
+        def low(_):
+            yield Compute(msec(10))
+
+        def high(_):
+            yield Sleep(msec(3))
+            yield Compute(msec(4))
+
+        sched.spawn("high", high, priority=10)
+        sched.spawn("low", low, priority=1)
+        sim.run()
+        recorder.close()
+        kinds = [s.kind for s in recorder.spans["low"]]
+        assert "ready" in kinds
+        # Low's run time is unchanged by the preemption.
+        assert recorder.busy_time("low") == msec(10)
+
+
+class TestRenderer:
+    def test_render_shows_lanes_and_axis(self):
+        sim, sched = make()
+        recorder = TimelineRecorder(sched)
+
+        def body(_):
+            yield Compute(msec(5))
+
+        sched.spawn("t", body)
+        sim.run()
+        art = render_timeline(recorder, 0, msec(10), width=40)
+        assert "t" in art
+        assert "#" in art
+        assert "running" in art
+
+    def test_preempted_window_shows_ready_marks(self):
+        sim, sched = make()
+        recorder = TimelineRecorder(sched)
+
+        def low(_):
+            yield Compute(msec(10))
+
+        def high(_):
+            yield Sleep(msec(3))
+            yield Compute(msec(4))
+
+        sched.spawn("high", high, priority=10)
+        sched.spawn("low", low, priority=1)
+        sim.run()
+        art = render_timeline(recorder, 0, msec(15), width=60)
+        low_lane = next(line for line in art.splitlines() if line.startswith("low"))
+        assert "=" in low_lane
+        assert "#" in low_lane
+
+    def test_invalid_window(self):
+        sim, sched = make()
+        recorder = TimelineRecorder(sched)
+        with pytest.raises(ValueError):
+            render_timeline(recorder, 10, 10)
+
+    def test_thread_selection(self):
+        sim, sched = make()
+        recorder = TimelineRecorder(sched)
+
+        def body(_):
+            yield Compute(msec(1))
+
+        sched.spawn("a", body)
+        sched.spawn("b", body)
+        sim.run()
+        art = render_timeline(recorder, 0, msec(3), threads=["a"])
+        assert "a" in art
+        assert "\nb" not in art

@@ -1,0 +1,203 @@
+"""Tests for joint budgeting of chains with shared segments."""
+
+import pytest
+
+from repro.budgeting import (
+    BudgetingProblem,
+    ChainTrace,
+    SegmentTrace,
+    reconcile_independent,
+    solve_independent,
+    solve_joint,
+)
+from repro.core import EventChain, MKConstraint
+from repro.core.segments import local_segment, remote_segment
+
+
+def make_two_chains(budget_a=200, budget_b=200, m=1, k=4):
+    """Two chains sharing their last segment ('shared'):
+
+    chain A: a0 -> shared     chain B: b0 -> shared
+    """
+    a0 = remote_segment("a0", "ta", "ecuA", "ecuC")
+    b0 = remote_segment("b0", "tb", "ecuB", "ecuC")
+    shared_a = local_segment("shared", "ecuC", "ta", "out")
+    shared_a.start = a0.end
+    shared_b = local_segment("shared", "ecuC", "tb", "out")
+    shared_b.start = b0.end
+    chain_a = EventChain(
+        name="A", segments=[a0, shared_a], period=1000,
+        budget_e2e=budget_a, budget_seg=150, mk=MKConstraint(m, k),
+    )
+    chain_b = EventChain(
+        name="B", segments=[b0, shared_b], period=1000,
+        budget_e2e=budget_b, budget_seg=150, mk=MKConstraint(m, k),
+    )
+    return chain_a, chain_b
+
+
+def make_problems(lat_a0, lat_b0, lat_shared_a, lat_shared_b=None,
+                  propagation=(1, 1), **kw):
+    chain_a, chain_b = make_two_chains(**kw)
+    trace_a = ChainTrace("A")
+    trace_a.add(SegmentTrace("a0", lat_a0))
+    trace_a.add(SegmentTrace("shared", lat_shared_a))
+    trace_b = ChainTrace("B")
+    trace_b.add(SegmentTrace("b0", lat_b0))
+    trace_b.add(SegmentTrace("shared", lat_shared_b or lat_shared_a))
+    return (
+        BudgetingProblem(chain_a, trace_a, propagation=list(propagation)),
+        BudgetingProblem(chain_b, trace_b, propagation=list(propagation)),
+    )
+
+
+class TestReconcileIndependent:
+    def test_non_conflicting_solutions_merge(self):
+        # p=0 problems so solve_independent's model matches the check.
+        problems = make_problems(
+            lat_a0=[10, 12, 11, 10],
+            lat_b0=[20, 22, 21, 20],
+            lat_shared_a=[30, 31, 30, 32],
+            propagation=(0, 0),
+        )
+        solutions = [solve_independent(p) for p in problems]
+        merged = reconcile_independent(problems, solutions)
+        assert merged.schedulable
+        assert set(merged.deadlines) == {"a0", "b0", "shared"}
+        # Merged deadline of the shared segment covers both chains.
+        for problem in problems:
+            assignment = [merged.deadlines[n] for n in problem.order]
+            assert problem.check(assignment).feasible
+
+    def test_unschedulable_chain_propagates(self):
+        problems = make_problems(
+            lat_a0=[500] * 4,  # beyond B_seg=150 always
+            lat_b0=[20] * 4,
+            lat_shared_a=[30] * 4,
+            m=0,
+        )
+        solutions = [solve_independent(p) for p in problems]
+        merged = reconcile_independent(problems, solutions)
+        assert not merged.schedulable
+        assert "unschedulable alone" in merged.reason
+
+    def test_budget_conflict_detected(self):
+        """Each chain is schedulable alone, but the merged maximum of
+        the shared segment blows chain A's tighter budget."""
+        problems = make_problems(
+            lat_a0=[100, 100, 100, 100],
+            lat_b0=[60, 60, 60, 60],
+            lat_shared_a=[40, 40, 40, 40],
+            lat_shared_b=[140, 140, 140, 140],  # B observed slower shared runs
+            budget_a=180,  # A alone: 100 + 40 = 140 <= 180
+            budget_b=250,  # B alone: 60 + 140 = 200 <= 250
+            m=0,
+            propagation=(0, 0),
+        )
+        solutions = [solve_independent(p) for p in problems]
+        assert all(s.schedulable for s in solutions)
+        merged = reconcile_independent(problems, solutions)
+        # Merged shared = max(40, 140) = 140 -> A: 100 + 140 > 180.
+        assert not merged.schedulable
+        assert "solve_joint" in merged.reason
+
+
+class TestSolveJoint:
+    def test_matches_reconcile_when_no_conflict(self):
+        problems = make_problems(
+            lat_a0=[10, 12, 11, 10],
+            lat_b0=[20, 22, 21, 20],
+            lat_shared_a=[30, 31, 30, 32],
+            propagation=(0, 0),
+        )
+        solutions = [solve_independent(p) for p in problems]
+        merged = reconcile_independent(problems, solutions)
+        joint = solve_joint(problems)
+        assert joint.schedulable
+        assert joint.total <= merged.total
+
+    def test_joint_finds_tradeoff_reconcile_misses(self):
+        """With m=1, the shared segment can stay small by letting some
+        activations miss; the joint search balances both budgets."""
+        problems = make_problems(
+            lat_a0=[10, 10, 80, 10, 10, 10],
+            lat_b0=[10, 10, 10, 80, 10, 10],
+            lat_shared_a=[30, 90, 30, 30, 30, 30],
+            m=1,
+            k=6,
+            budget_a=120,
+            budget_b=120,
+        )
+        joint = solve_joint(problems)
+        assert joint.schedulable
+        for problem in problems:
+            assignment = [joint.deadlines[n] for n in problem.order]
+            assert problem.check(assignment).feasible
+        assert joint.total <= 120 + 120  # sanity
+
+    def test_infeasible_joint_reported(self):
+        problems = make_problems(
+            lat_a0=[100] * 4,
+            lat_b0=[100] * 4,
+            lat_shared_a=[100] * 4,
+            budget_a=120,  # 100 + 100 > 120 under m=0
+            budget_b=120,
+            m=0,
+        )
+        joint = solve_joint(problems)
+        assert not joint.schedulable
+
+    def test_shared_deadline_is_single_valued(self):
+        problems = make_problems(
+            lat_a0=[10] * 4,
+            lat_b0=[20] * 4,
+            lat_shared_a=[30, 40, 35, 30],
+            lat_shared_b=[50, 45, 55, 50],
+            m=0,
+        )
+        joint = solve_joint(problems)
+        assert joint.schedulable
+        # The shared segment has one deadline covering both traces:
+        # >= max of both traces' requirements under m=0.
+        assert joint.deadlines["shared"] >= 55
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            solve_joint([])
+
+    def test_joint_optimality_vs_bruteforce(self):
+        import itertools
+
+        problems = make_problems(
+            lat_a0=[10, 30, 10, 10],
+            lat_b0=[15, 15, 35, 15],
+            lat_shared_a=[20, 20, 20, 45],
+            m=1,
+            k=3,
+            budget_a=100,
+            budget_b=100,
+        )
+        joint = solve_joint(problems)
+        # Brute force over unioned candidates.
+        names = ["a0", "shared", "b0"]
+        cand = {
+            "a0": problems[0].candidates(0),
+            "b0": problems[1].candidates(0),
+            "shared": sorted(
+                set(problems[0].candidates(1)) | set(problems[1].candidates(1))
+            ),
+        }
+        best = None
+        for combo in itertools.product(*(cand[n] for n in names)):
+            deadlines = dict(zip(names, combo))
+            ok = all(
+                p.check([deadlines[n] for n in p.order]).feasible
+                for p in problems
+            )
+            if ok and (best is None or sum(combo) < best):
+                best = sum(combo)
+        if best is None:
+            assert not joint.schedulable
+        else:
+            assert joint.schedulable
+            assert joint.total == best

@@ -1,0 +1,124 @@
+"""Clock-synchronization sensitivity of the sync-based remote monitor.
+
+The paper's premise: the receiver interprets sender timestamps, valid
+because PTP bounds the clock error to epsilon which is folded into
+``d_mon`` (d_mon = BCRT + JR + Ja + epsilon).  These tests verify both
+directions:
+
+- with a sync error well inside the budgeted epsilon, no false
+  positives occur;
+- with a clock offset exceeding d_mon, the monitor (correctly, from its
+  local view) flags on-time traffic -- quantifying why bounded sync is a
+  prerequisite;
+- the paper's asymmetry note: a *late* activation tightens the next
+  deadline (safe), an *early* activation loosens it (may leave slack
+  undetected, never causes false alarms).
+"""
+
+import pytest
+
+from _harness import Message, activation_of, message_topic, two_ecu_world
+
+from repro.core import (
+    MKConstraint,
+    MonitorThread,
+    SyncRemoteMonitor,
+    TimeoutContext,
+)
+from repro.core.segments import remote_segment
+from repro.network import DriftingClock
+from repro.ros import Node
+from repro.sim import msec, usec
+
+
+def clocked_setup(sender_offset=0, receiver_offset=0, d_mon=msec(5), seed=1):
+    sim, ecu1, ecu2, domain = two_ecu_world(seed=seed)
+    ecu1.clock = DriftingClock(sim, offset_ns=sender_offset, name="tx")
+    ecu2.clock = DriftingClock(sim, offset_ns=receiver_offset, name="rx")
+    sender = Node(domain, ecu1, "sender", priority=40)
+    receiver = Node(domain, ecu2, "receiver", priority=30)
+    topic = message_topic("stream")
+    sub = receiver.create_subscription(topic, lambda s: None)
+    pub = sender.create_publisher(topic)
+    segment = remote_segment("seg", "stream", "ecu1", "ecu2", d_mon=d_mon)
+    monitor = SyncRemoteMonitor(
+        segment, sub.reader, period=msec(100),
+        mk=MKConstraint(2, 10),
+        context=TimeoutContext.MONITOR_THREAD,
+        monitor_thread=MonitorThread(ecu2, priority=99),
+        activation_fn=activation_of,
+    )
+    return sim, pub, monitor
+
+
+def drive(sim, pub, monitor, n=10, period=msec(100)):
+    for i in range(n):
+        sim.schedule_at(msec(1) + i * period, pub.publish, Message(frame_index=i))
+    sim.run(until=msec(1) + (n - 1) * period + msec(20))
+    monitor.stop()
+
+
+class TestBoundedSyncError:
+    def test_small_offsets_cause_no_false_positives(self):
+        # 50 us of clock disagreement, 5 ms of d_mon: plenty of margin.
+        sim, pub, monitor = clocked_setup(
+            sender_offset=usec(30), receiver_offset=-usec(20)
+        )
+        drive(sim, pub, monitor)
+        assert monitor.exceptions == []
+
+    def test_latency_measurement_includes_clock_error(self):
+        # Receiver clock 1 ms ahead: measured latencies shift by ~1 ms.
+        sim, pub, monitor = clocked_setup(receiver_offset=msec(1))
+        drive(sim, pub, monitor)
+        for _n, latency, _o in monitor.latencies:
+            assert msec(1) <= latency <= msec(1) + usec(400)
+
+
+class TestExcessiveSyncError:
+    def test_receiver_clock_far_ahead_causes_false_positives(self):
+        """If the receiver's clock leads the sender by more than d_mon,
+        on-time samples appear late: without PTP the approach breaks."""
+        sim, pub, monitor = clocked_setup(receiver_offset=msec(8), d_mon=msec(5))
+        drive(sim, pub, monitor)
+        assert len(monitor.exceptions) > 0
+        assert monitor.late_discarded > 0
+
+    def test_receiver_clock_behind_hides_lateness(self):
+        """Receiver lagging by 8 ms: samples 6 ms late still appear
+        in-time -- the undetected-slack direction the paper notes."""
+        sim, pub, monitor = clocked_setup(receiver_offset=-msec(8), d_mon=msec(5))
+        period = msec(100)
+        for i in range(8):
+            # Every sample published 6 ms past its nominal instant but
+            # stamped at the nominal time.
+            sim.schedule_at(
+                msec(1) + i * period + msec(6),
+                lambda i=i: pub.writer.write(
+                    Message(frame_index=i),
+                    source_timestamp=msec(1) + i * period,
+                ),
+            )
+        sim.run(until=msec(800))
+        monitor.stop()
+        assert monitor.exceptions == []  # lateness hidden by clock skew
+
+
+class TestDeadlineAsymmetry:
+    def test_late_activation_tightens_next_deadline(self):
+        """The n-th deadline is programmed from the (n-1)-th *timestamp*:
+        if activation n-1 ran late, activation n faces a closer deadline
+        -- the safe direction of the paper's argument."""
+        sim, pub, monitor = clocked_setup(d_mon=msec(5))
+        period = msec(100)
+        # Frame 0 on time (stamped at its nominal time), frame 1
+        # published 3 ms late with a late timestamp too.
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.schedule_at(msec(104), pub.publish, Message(frame_index=1))
+        sim.run(until=msec(150))
+        # Deadline for frame 2 derives from frame 1's (late) timestamp:
+        # 104 + 100 + 5 = 209 ms -- but had frame 1 been punctual it
+        # would be 206 ms; the *relative* slack for frame 2's own
+        # execution is unchanged (timestamp-based, not schedule-based).
+        assert monitor.deadline_local == msec(209)
+        monitor.stop()

@@ -1,0 +1,119 @@
+"""Tests for the system-level health supervisor."""
+
+import pytest
+
+from repro.core.chain_runtime import Outcome
+from repro.core.diagnostics import Health, HealthPolicy, HealthSupervisor
+
+
+def feed(supervisor, name, outcomes):
+    for outcome in outcomes:
+        supervisor.observe(name, outcome)
+
+
+class TestPolicyValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"degraded_ratio": 0},
+            {"degraded_ratio": 1.5},
+            {"failed_consecutive": 0},
+            {"recover_clean": 0},
+        ],
+    )
+    def test_invalid_policy(self, kwargs):
+        with pytest.raises(ValueError):
+            HealthPolicy(**kwargs)
+
+
+class TestTransitions:
+    def test_starts_ok(self):
+        supervisor = HealthSupervisor()
+        assert supervisor.state_of("seg") is Health.OK
+        assert supervisor.system_health is Health.OK
+
+    def test_stays_ok_on_clean_stream(self):
+        supervisor = HealthSupervisor()
+        feed(supervisor, "seg", [Outcome.OK] * 50)
+        assert supervisor.state_of("seg") is Health.OK
+
+    def test_recovered_counts_as_clean(self):
+        supervisor = HealthSupervisor(HealthPolicy(failed_consecutive=2))
+        feed(supervisor, "seg", [Outcome.RECOVERED] * 10)
+        assert supervisor.state_of("seg") is Health.OK
+
+    def test_degrades_on_high_miss_ratio(self):
+        supervisor = HealthSupervisor(
+            HealthPolicy(window=10, degraded_ratio=0.2, failed_consecutive=99)
+        )
+        # 3 misses in the 10-window, interleaved (no long runs).
+        pattern = [Outcome.MISS, Outcome.OK, Outcome.OK] * 4
+        feed(supervisor, "seg", pattern)
+        assert supervisor.state_of("seg") is Health.DEGRADED
+
+    def test_fails_on_consecutive_misses(self):
+        supervisor = HealthSupervisor(HealthPolicy(failed_consecutive=3))
+        feed(supervisor, "seg", [Outcome.OK, Outcome.MISS, Outcome.MISS, Outcome.MISS])
+        assert supervisor.state_of("seg") is Health.FAILED
+
+    def test_skipped_counts_as_miss(self):
+        supervisor = HealthSupervisor(HealthPolicy(failed_consecutive=2))
+        feed(supervisor, "seg", [Outcome.SKIPPED, Outcome.SKIPPED])
+        assert supervisor.state_of("seg") is Health.FAILED
+
+    def test_recovery_hysteresis(self):
+        policy = HealthPolicy(failed_consecutive=2, recover_clean=5, window=10)
+        supervisor = HealthSupervisor(policy)
+        feed(supervisor, "seg", [Outcome.MISS, Outcome.MISS])
+        assert supervisor.state_of("seg") is Health.FAILED
+        # 4 clean outcomes: not yet recovered.
+        feed(supervisor, "seg", [Outcome.OK] * 4)
+        assert supervisor.state_of("seg") is Health.FAILED
+        # 5th clean outcome: back to OK (misses also left the window
+        # ratio low enough by then).
+        feed(supervisor, "seg", [Outcome.OK] * 8)
+        assert supervisor.state_of("seg") is Health.OK
+
+    def test_state_change_callback(self):
+        changes = []
+        supervisor = HealthSupervisor(
+            HealthPolicy(failed_consecutive=2),
+            on_state_change=lambda name, old, new: changes.append((name, old, new)),
+        )
+        feed(supervisor, "seg", [Outcome.MISS, Outcome.MISS])
+        # First miss: window ratio 1/1 -> DEGRADED; second: FAILED.
+        assert changes == [
+            ("seg", Health.OK, Health.DEGRADED),
+            ("seg", Health.DEGRADED, Health.FAILED),
+        ]
+
+
+class TestSystemHealth:
+    def test_worst_segment_dominates(self):
+        supervisor = HealthSupervisor(HealthPolicy(failed_consecutive=2))
+        feed(supervisor, "a", [Outcome.OK] * 5)
+        feed(supervisor, "b", [Outcome.MISS, Outcome.MISS])
+        assert supervisor.system_health is Health.FAILED
+
+    def test_report_renders_all_segments(self):
+        supervisor = HealthSupervisor()
+        feed(supervisor, "a", [Outcome.OK])
+        feed(supervisor, "b", [Outcome.MISS])
+        report = supervisor.report()
+        assert "system health" in report
+        assert "a" in report and "b" in report
+
+
+class TestAttachToRuntime:
+    def test_shim_receives_monitor_reports(self):
+        from _harness import PipelineWorld
+        from repro.sim import msec
+
+        world = PipelineWorld(worker_time=lambda i: msec(50), d_mon=msec(20))
+        supervisor = HealthSupervisor(HealthPolicy(failed_consecutive=2))
+        supervisor.attach(world.runtime)
+        world.publish_frames(4)
+        world.run(until=msec(800))
+        # Every activation missed -> the segment failed.
+        assert supervisor.state_of("seg_worker") is Health.FAILED

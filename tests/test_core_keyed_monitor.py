@@ -1,0 +1,134 @@
+"""Tests for per-key remote monitoring (keyed DDS topics).
+
+Two publishers (e.g. two zones of a sensor array) share one topic with
+distinct instance keys; the group must supervise each stream
+independently: a missing sample of one key raises an exception for that
+key only.
+"""
+
+import pytest
+
+from _harness import Message, activation_of, message_topic, two_ecu_world
+
+from repro.core import (
+    KeyedSyncMonitorGroup,
+    MKConstraint,
+    MonitorThread,
+    Outcome,
+    PropagateAlways,
+    RecoverAlways,
+)
+from repro.core.segments import remote_segment
+from repro.ros import Node
+from repro.sim import msec
+
+
+def keyed_setup(seed=1, d_mon=msec(5), period=msec(100), handler=None):
+    sim, ecu1, ecu2, domain = two_ecu_world(seed=seed)
+    sender = Node(domain, ecu1, "sender", priority=40)
+    receiver = Node(domain, ecu2, "receiver", priority=30)
+    topic = message_topic("array")
+    received = []
+    sub = receiver.create_subscription(
+        topic,
+        lambda s: received.append((s.key, s.data.frame_index, s.recovered)),
+    )
+    pub_a = sender.create_publisher(topic)
+    pub_b = sender.create_publisher(topic)
+    segment = remote_segment("seg_array", "array", "ecu1", "ecu2", d_mon=d_mon)
+    monitor_thread = MonitorThread(ecu2, priority=99)
+    group = KeyedSyncMonitorGroup(
+        segment, sub.reader, period=period,
+        handler=handler or PropagateAlways(),
+        mk=MKConstraint(2, 10), monitor_thread=monitor_thread,
+        activation_fn=activation_of,
+    )
+    return sim, pub_a, pub_b, group, received
+
+
+class TestKeyedMonitoring:
+    def test_one_monitor_per_key(self):
+        sim, pub_a, pub_b, group, received = keyed_setup()
+        for i in range(3):
+            sim.schedule_at(
+                msec(1) + i * msec(100),
+                lambda i=i: pub_a.writer.write(Message(frame_index=i), key="zone_a"),
+            )
+            sim.schedule_at(
+                msec(2) + i * msec(100),
+                lambda i=i: pub_b.writer.write(Message(frame_index=i), key="zone_b"),
+            )
+        sim.run(until=msec(250))
+        group.stop()
+        assert set(group.monitors) == {"zone_a", "zone_b"}
+        assert len(received) == 6
+
+    def test_missing_key_detected_independently(self):
+        sim, pub_a, pub_b, group, received = keyed_setup()
+        for i in range(4):
+            sim.schedule_at(
+                msec(1) + i * msec(100),
+                lambda i=i: pub_a.writer.write(Message(frame_index=i), key="zone_a"),
+            )
+            # zone_b skips frame 2.
+            if i != 2:
+                sim.schedule_at(
+                    msec(2) + i * msec(100),
+                    lambda i=i: pub_b.writer.write(Message(frame_index=i), key="zone_b"),
+                )
+        sim.run(until=msec(350))
+        group.stop()
+        mon_a = group.monitors["zone_a"]
+        mon_b = group.monitors["zone_b"]
+        assert mon_a.exceptions == []
+        assert [e.activation for e in mon_b.exceptions] == [2]
+        assert mon_b.segment.name == "seg_array[zone_b]"
+
+    def test_per_key_recovery_is_keyed(self):
+        handler = RecoverAlways(
+            lambda ctx: Message(frame_index=ctx.exception.activation)
+        )
+        sim, pub_a, pub_b, group, received = keyed_setup(handler=handler)
+        for i in range(4):
+            sim.schedule_at(
+                msec(1) + i * msec(100),
+                lambda i=i: pub_a.writer.write(Message(frame_index=i), key="zone_a"),
+            )
+            if i != 2:
+                sim.schedule_at(
+                    msec(2) + i * msec(100),
+                    lambda i=i: pub_b.writer.write(Message(frame_index=i), key="zone_b"),
+                )
+        sim.run(until=msec(350))
+        group.stop()
+        recovered = [(k, f) for k, f, r in received if r]
+        assert recovered == [("zone_b", 2)]
+
+    def test_default_key_falls_back_to_writer_guid(self):
+        sim, pub_a, pub_b, group, received = keyed_setup()
+        # No explicit keys: the two writers' GUIDs separate the streams.
+        for i in range(2):
+            sim.schedule_at(
+                msec(1) + i * msec(100),
+                lambda i=i: pub_a.writer.write(Message(frame_index=i)),
+            )
+            sim.schedule_at(
+                msec(2) + i * msec(100),
+                lambda i=i: pub_b.writer.write(Message(frame_index=i)),
+            )
+        sim.run(until=msec(150))
+        group.stop()
+        assert len(group.monitors) == 2
+
+    def test_late_sample_of_one_key_discarded(self):
+        sim, pub_a, pub_b, group, received = keyed_setup(d_mon=msec(5))
+        sim.schedule_at(msec(1), lambda: pub_a.writer.write(Message(frame_index=0), key="a"))
+        # Frame 1 of key 'a' arrives 60 ms late (deadline at 106 ms).
+        sim.schedule_at(msec(161), lambda: pub_a.writer.write(Message(frame_index=1), key="a"))
+        sim.schedule_at(msec(201), lambda: pub_a.writer.write(Message(frame_index=2), key="a"))
+        sim.run(until=msec(280))
+        group.stop()
+        frames = [f for k, f, _r in received if k == "a"]
+        assert 1 not in frames
+        assert 2 in frames
+        assert group.monitors["a"].late_discarded == 1

@@ -1,0 +1,346 @@
+"""Integration tests for local segment monitoring (paper Sec. IV-A)."""
+
+import pytest
+
+from _harness import Message, PipelineWorld, activation_of
+
+from repro.core import (
+    ChainRuntime,
+    EventChain,
+    MKConstraint,
+    MonitorThread,
+    LocalSegmentRuntime,
+    Outcome,
+    PropagateAlways,
+    RecoverAlways,
+    RecoverUpTo,
+)
+from repro.core.local_monitor import EventRingBuffer
+from repro.core.segments import local_segment, remote_segment
+from repro.sim import msec, usec
+
+
+class TestRingBuffer:
+    def test_fifo_drain(self):
+        buf = EventRingBuffer(capacity=4)
+        for i in range(3):
+            buf.post((i,))
+        assert buf.drain() == [(0,), (1,), (2,)]
+        assert buf.drain() == []
+
+    def test_overflow_counted_and_newest_dropped(self):
+        buf = EventRingBuffer(capacity=2)
+        assert buf.post((0,))
+        assert buf.post((1,))
+        assert not buf.post((2,))
+        assert buf.overflows == 1
+        assert buf.drain() == [(0,), (1,)]
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventRingBuffer(capacity=0)
+
+
+class TestNormalOperation:
+    def test_in_time_segments_record_ok(self):
+        world = PipelineWorld(worker_time=lambda i: msec(5), d_mon=msec(20))
+        world.publish_frames(10)
+        world.run(until=msec(1200))
+        outcomes = [o for _n, _l, o in world.runtime.latencies]
+        assert outcomes == [Outcome.OK] * 10
+        assert world.runtime.exceptions == []
+        assert len(world.sink_received) == 10
+
+    def test_latency_reflects_compute_time(self):
+        world = PipelineWorld(worker_time=lambda i: msec(5), d_mon=msec(20))
+        world.publish_frames(5)
+        world.run(until=msec(700))
+        for _n, latency, _o in world.runtime.latencies:
+            assert msec(5) <= latency <= msec(6)
+
+    def test_no_pending_timeouts_after_completion(self):
+        world = PipelineWorld(worker_time=lambda i: msec(5))
+        world.publish_frames(3)
+        world.run(until=msec(500))
+        assert world.runtime.pending == {}
+
+    def test_chain_runtime_sees_ok_reports(self):
+        world = PipelineWorld(worker_time=lambda i: msec(5))
+        world.publish_frames(4)
+        world.run(until=msec(600))
+        report = world.chain_runtime.finalize()
+        assert report.ok_count == 4
+        assert report.miss_count == 0
+        assert report.mk_satisfied
+
+
+class TestTemporalExceptions:
+    def test_late_segment_raises_exception_near_deadline(self):
+        world = PipelineWorld(worker_time=lambda i: msec(50), d_mon=msec(20))
+        world.publish_frames(1)
+        world.run(until=msec(300))
+        assert len(world.runtime.exceptions) == 1
+        exc = world.runtime.exceptions[0]
+        # Raised shortly after start + d_mon; overshoot is detection +
+        # handler costs (tens of microseconds).
+        assert 0 <= exc.detection_latency <= usec(500)
+
+    def test_monitored_latency_capped_at_deadline_plus_overshoot(self):
+        world = PipelineWorld(worker_time=lambda i: msec(50), d_mon=msec(20))
+        world.publish_frames(5)
+        world.run(until=msec(1000))
+        for _n, latency, outcome in world.runtime.latencies:
+            assert outcome is Outcome.MISS
+            assert msec(20) <= latency <= msec(20) + usec(500)
+
+    def test_late_publication_suppressed_on_propagation(self):
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50), d_mon=msec(20), handler=PropagateAlways()
+        )
+        world.publish_frames(3)
+        world.run(until=msec(600))
+        # All publications were late -> all suppressed -> sink sees nothing.
+        assert world.sink_received == []
+        assert world.pub_b.writer.suppressed == 3
+
+    def test_mixed_late_and_ontime(self):
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50) if i % 2 == 0 else msec(5),
+            d_mon=msec(20),
+        )
+        world.publish_frames(6)
+        world.run(until=msec(1000))
+        outcomes = {n: o for n, _l, o in world.runtime.latencies}
+        assert outcomes == {
+            0: Outcome.MISS,
+            1: Outcome.OK,
+            2: Outcome.MISS,
+            3: Outcome.OK,
+            4: Outcome.MISS,
+            5: Outcome.OK,
+        }
+        # Only on-time frames reach the sink, and no late duplicates.
+        assert [f for f, _t, _r in world.sink_received] == [1, 3, 5]
+
+    def test_skip_does_not_leak_to_next_activation(self):
+        """The skip counter suppresses exactly the late publication."""
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50) if i == 0 else msec(5),
+            d_mon=msec(20),
+        )
+        world.publish_frames(4)
+        world.run(until=msec(800))
+        assert [f for f, _t, _r in world.sink_received] == [1, 2, 3]
+        assert world.pub_b.writer.suppressed == 1
+
+
+class TestRecovery:
+    def test_recovery_publishes_substitute_data(self):
+        handler = RecoverAlways(
+            lambda ctx: Message(frame_index=ctx.exception.activation, value="sub")
+        )
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50), d_mon=msec(20), handler=handler
+        )
+        world.publish_frames(3)
+        world.run(until=msec(600))
+        # Sink receives the recovered samples at ~deadline time.
+        assert len(world.sink_received) == 3
+        assert all(recovered for _f, _t, recovered in world.sink_received)
+        outcomes = [o for _n, _l, o in world.runtime.latencies]
+        assert outcomes == [Outcome.RECOVERED] * 3
+
+    def test_recovered_not_a_chain_miss(self):
+        handler = RecoverAlways(
+            lambda ctx: Message(frame_index=ctx.exception.activation)
+        )
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50), d_mon=msec(20), handler=handler,
+            mk=MKConstraint(0, 5),
+        )
+        world.publish_frames(5)
+        world.run(until=msec(1000))
+        report = world.chain_runtime.finalize()
+        assert report.recovered_count == 5
+        assert report.miss_count == 0
+        assert report.mk_satisfied  # (0,5) holds because recoveries don't count
+
+    def test_recover_up_to_threshold(self):
+        handler = RecoverUpTo(
+            max_misses=1,
+            data_factory=lambda ctx: Message(frame_index=ctx.exception.activation),
+        )
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50), d_mon=msec(20), handler=handler,
+            mk=MKConstraint(1, 3),
+        )
+        world.publish_frames(6)
+        world.run(until=msec(1200))
+        outcomes = [o for _n, _l, o in world.runtime.latencies]
+        # First exception: misses=1 <= 1 -> recover.  Recoveries don't
+        # count as misses, so every exception sees misses=1 and recovers.
+        assert outcomes == [Outcome.RECOVERED] * 6
+
+    def test_handler_receives_current_miss_count(self):
+        seen = []
+
+        class Probe(PropagateAlways):
+            def user_exception(self, context):
+                seen.append(context.misses)
+                return None
+
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50), d_mon=msec(20), handler=Probe(),
+            mk=MKConstraint(2, 4),
+        )
+        world.publish_frames(4)
+        world.run(until=msec(900))
+        # Misses accumulate in the window: 1, 2, 3, then window slides (k=4).
+        assert seen[:3] == [1, 2, 3]
+
+    def test_handler_gets_start_data(self):
+        captured = []
+
+        class Probe(PropagateAlways):
+            def user_exception(self, context):
+                captured.append(context.start_data)
+                return None
+
+        world = PipelineWorld(
+            worker_time=lambda i: msec(50), d_mon=msec(20), handler=Probe()
+        )
+        world.publish_frames(1)
+        world.run(until=msec(300))
+        assert len(captured) == 1
+        assert captured[0].frame_index == 0
+
+
+class TestFixedProcessingOrder:
+    def test_second_segment_exception_delayed_by_first(self):
+        """Two segments expiring together are handled in registration
+        order -- the ground-points-after-objects effect of Fig. 10."""
+        from repro.dds import DdsDomain, Topic
+        from repro.ros import Node
+        from repro.sim import Compute, Ecu, Simulator
+
+        sim = Simulator(seed=1)
+        ecu = Ecu(sim, "ecu2", n_cores=2)
+        domain = DdsDomain(sim, local_latency=usec(10))
+        producer = Node(domain, ecu, "producer", priority=40)
+        worker = Node(domain, ecu, "worker", priority=30)
+        topic_in = Topic("points", size_fn=lambda m: 100)
+        topic_obj = Topic("objects", size_fn=lambda m: 100)
+        topic_gnd = Topic("ground", size_fn=lambda m: 100)
+        pub_obj = worker.create_publisher(topic_obj)
+        pub_gnd = worker.create_publisher(topic_gnd)
+
+        def worker_cb(sample):
+            yield Compute(msec(50))  # too slow for both segments
+            pub_obj.publish(sample.data)
+            pub_gnd.publish(sample.data)
+
+        sub = worker.create_subscription(topic_in, worker_cb)
+        seg_obj = local_segment("seg_objects", "ecu2", "points", "objects", d_mon=msec(10))
+        seg_gnd = local_segment("seg_ground", "ecu2", "points", "ground", d_mon=msec(10))
+        monitor = MonitorThread(ecu, priority=99)
+        rt_obj = LocalSegmentRuntime(seg_obj, activation_fn=activation_of)
+        rt_gnd = LocalSegmentRuntime(seg_gnd, activation_fn=activation_of)
+        monitor.add_segment(rt_obj)
+        monitor.add_segment(rt_gnd)
+        rt_obj.attach_start(sub.reader)
+        rt_obj.attach_end_writer(pub_obj.writer)
+        rt_gnd.attach_start(sub.reader)
+        rt_gnd.attach_end_writer(pub_gnd.writer)
+
+        pub_in = producer.create_publisher(topic_in)
+        sim.schedule_at(msec(1), pub_in.publish, Message(frame_index=0))
+        sim.run(until=msec(100))
+        assert len(rt_obj.exceptions) == 1
+        assert len(rt_gnd.exceptions) == 1
+        # The ground segment's exception is handled strictly after the
+        # objects segment's (same deadline, fixed order).
+        assert (
+            rt_gnd.exceptions[0].detection_latency
+            > rt_obj.exceptions[0].detection_latency
+        )
+
+
+class TestEndAtReader:
+    def test_sink_segment_monitored_via_receive_end_event(self):
+        """The paper's evaluation monitors segments ending at rviz2's
+        receive events; end events here come from a reader hook."""
+        from repro.core.events import EventKind
+        from repro.dds import DdsDomain, Topic
+        from repro.ros import Node
+        from repro.sim import Compute, Ecu, Simulator
+
+        sim = Simulator(seed=1)
+        ecu = Ecu(sim, "ecu2", n_cores=2)
+        domain = DdsDomain(sim, local_latency=usec(10))
+        producer = Node(domain, ecu, "producer", priority=40)
+        worker = Node(domain, ecu, "worker", priority=30)
+        rviz = Node(domain, ecu, "rviz", priority=20)
+        topic_in = Topic("points", size_fn=lambda m: 100)
+        topic_out = Topic("objects", size_fn=lambda m: 100)
+        pub_out = worker.create_publisher(topic_out)
+
+        durations = {0: msec(5), 1: msec(50), 2: msec(5)}
+
+        def worker_cb(sample):
+            yield Compute(durations[sample.data.frame_index])
+            pub_out.publish(sample.data)
+
+        sub_in = worker.create_subscription(topic_in, worker_cb)
+        seen = []
+        rviz_sub = rviz.create_subscription(
+            topic_out, lambda s: seen.append((s.data.frame_index, s.recovered))
+        )
+
+        segment = local_segment(
+            "seg_rviz", "ecu2", "points", "objects",
+            end_kind=EventKind.RECEIVE, d_mon=msec(10),
+        )
+        monitor = MonitorThread(ecu, priority=99)
+        runtime = LocalSegmentRuntime(segment, activation_fn=activation_of)
+        monitor.add_segment(runtime)
+        runtime.attach_start(sub_in.reader)
+        runtime.attach_end_reader(rviz_sub.reader)
+
+        pub_in = producer.create_publisher(topic_in)
+        for i in range(3):
+            sim.schedule_at(msec(1) + i * msec(100), pub_in.publish, Message(frame_index=i))
+        sim.run(until=msec(400))
+        outcomes = {n: o for n, _l, o in runtime.latencies}
+        assert outcomes == {0: Outcome.OK, 1: Outcome.MISS, 2: Outcome.OK}
+        # The late frame-1 reception was discarded at the rviz reader.
+        assert seen == [(0, False), (2, False)]
+
+
+class TestErrorPropagationEvent:
+    def test_post_error_propagation_reports_skipped(self):
+        world = PipelineWorld()
+        world.runtime.post_error_propagation(7)
+        report = world.chain_runtime.finalize(through_activation=7)
+        assert report.skipped_count == 1
+        assert report.activations[7].segments["seg_worker"].outcome is Outcome.SKIPPED
+
+
+class TestValidation:
+    def test_remote_segment_rejected(self):
+        seg = remote_segment("r", "t", "a", "b", d_mon=msec(5))
+        with pytest.raises(ValueError):
+            LocalSegmentRuntime(seg)
+
+    def test_deadline_required(self):
+        seg = local_segment("l", "ecu1", "a", "b")
+        with pytest.raises(ValueError):
+            LocalSegmentRuntime(seg)
+
+    def test_recovery_without_endpoint_fails(self):
+        world = PipelineWorld()
+        runtime = LocalSegmentRuntime(
+            local_segment("l2", "ecu1", "a", "b", d_mon=msec(5))
+        )
+        world.monitor.add_segment(runtime)
+        with pytest.raises(RuntimeError):
+            runtime._publish_recovery("data")

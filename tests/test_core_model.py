@@ -1,0 +1,184 @@
+"""Unit tests for events, segments and chain validation."""
+
+import pytest
+
+from repro.core import EventChain, EventKind, EventPoint, MKConstraint, Segment, SegmentKind
+from repro.core.chains import ChainValidationError
+from repro.core.segments import local_segment, remote_segment
+from repro.sim import msec
+
+
+def sample_chain():
+    """The paper's front-lidar chain: remote(front) -> local(fusion) ->
+    remote(fused) -> local(classify+detect)."""
+    s0 = remote_segment("s0_front", "points_front", "lidar_front", "ecu1")
+    s1 = local_segment(
+        "s1_fusion", "ecu1", "points_front", "points_fused", end_process=""
+    )
+    s2 = remote_segment("s2_fused", "points_fused", "ecu1", "ecu2")
+    s3 = local_segment(
+        "s3_perception", "ecu2", "points_fused", "objects",
+        end_kind=EventKind.RECEIVE,
+    )
+    return [s0, s1, s2, s3]
+
+
+class TestEventPoint:
+    def test_equality_is_gapfree_check(self):
+        a = EventPoint("t", EventKind.PUBLICATION, "ecu1")
+        b = EventPoint("t", EventKind.PUBLICATION, "ecu1")
+        assert a == b
+
+    def test_error_propagation_not_a_boundary(self):
+        with pytest.raises(ValueError):
+            EventPoint("t", EventKind.ERROR_PROPAGATION, "ecu1")
+
+    def test_str(self):
+        point = EventPoint("t", EventKind.RECEIVE, "ecu1", "fusion")
+        assert str(point) == "receive(t)@ecu1:fusion"
+
+
+class TestSegmentValidation:
+    def test_local_segment_same_ecu_required(self):
+        with pytest.raises(ValueError):
+            Segment(
+                name="bad",
+                kind=SegmentKind.LOCAL,
+                start=EventPoint("a", EventKind.RECEIVE, "ecu1"),
+                end=EventPoint("b", EventKind.PUBLICATION, "ecu2"),
+            )
+
+    def test_local_segment_must_start_with_receive(self):
+        with pytest.raises(ValueError):
+            Segment(
+                name="bad",
+                kind=SegmentKind.LOCAL,
+                start=EventPoint("a", EventKind.PUBLICATION, "ecu1"),
+                end=EventPoint("b", EventKind.PUBLICATION, "ecu1"),
+            )
+
+    def test_remote_segment_must_cross_ecus(self):
+        with pytest.raises(ValueError):
+            remote_segment("bad", "t", "ecu1", "ecu1")
+
+    def test_remote_segment_single_topic(self):
+        with pytest.raises(ValueError):
+            Segment(
+                name="bad",
+                kind=SegmentKind.REMOTE,
+                start=EventPoint("a", EventKind.PUBLICATION, "ecu1"),
+                end=EventPoint("b", EventKind.RECEIVE, "ecu2"),
+            )
+
+    def test_local_segment_may_end_with_receive(self):
+        seg = local_segment("rviz", "ecu2", "points", "objects", end_kind=EventKind.RECEIVE)
+        assert seg.end.kind is EventKind.RECEIVE
+
+    def test_deadline_property(self):
+        seg = remote_segment("s", "t", "a", "b", d_mon=msec(10), d_ex=msec(1))
+        assert seg.deadline == msec(11)
+
+    def test_deadline_none_until_assigned(self):
+        seg = remote_segment("s", "t", "a", "b")
+        assert seg.deadline is None
+
+    def test_with_deadline_returns_copy(self):
+        seg = remote_segment("s", "t", "a", "b", d_ex=msec(1))
+        assigned = seg.with_deadline(msec(5))
+        assert assigned.d_mon == msec(5)
+        assert assigned.d_ex == msec(1)
+        assert seg.d_mon is None
+
+    def test_invalid_deadlines_rejected(self):
+        with pytest.raises(ValueError):
+            remote_segment("s", "t", "a", "b", d_mon=0)
+        with pytest.raises(ValueError):
+            remote_segment("s", "t", "a", "b", d_ex=-1)
+
+
+class TestChainValidation:
+    def test_valid_chain_constructs(self):
+        chain = EventChain(
+            name="front",
+            segments=sample_chain(),
+            period=msec(100),
+            budget_e2e=msec(220),
+            mk=MKConstraint(2, 10),
+        )
+        assert len(chain) == 4
+        assert chain.budget_seg == msec(100)
+
+    def test_gap_detected(self):
+        segments = sample_chain()
+        # Break contiguity: s2 now starts from a different topic.
+        segments[2] = remote_segment("s2_fused", "points_other", "ecu1", "ecu2")
+        with pytest.raises(ChainValidationError, match="unmonitored gap"):
+            EventChain(
+                name="front",
+                segments=segments,
+                period=msec(100),
+                budget_e2e=msec(220),
+            )
+
+    def test_empty_chain_rejected(self):
+        with pytest.raises(ChainValidationError):
+            EventChain(name="x", segments=[], period=msec(100), budget_e2e=msec(100))
+
+    def test_segment_lookup(self):
+        chain = EventChain(
+            name="front", segments=sample_chain(), period=msec(100), budget_e2e=msec(220)
+        )
+        assert chain.segment("s1_fusion").kind is SegmentKind.LOCAL
+        assert chain.index_of("s2_fused") == 2
+        with pytest.raises(KeyError):
+            chain.segment("nope")
+
+    def test_with_deadlines(self):
+        chain = EventChain(
+            name="front", segments=sample_chain(), period=msec(100), budget_e2e=msec(400)
+        )
+        assigned = chain.with_deadlines([msec(10), msec(50), msec(10), msec(90)])
+        assert assigned.deadlines_assigned
+        assert assigned.deadline_sum() == msec(160)
+        assert not chain.deadlines_assigned
+
+    def test_budget_check_enforces_eq1(self):
+        chain = EventChain(
+            name="front", segments=sample_chain(), period=msec(100), budget_e2e=msec(100)
+        )
+        assigned = chain.with_deadlines([msec(40), msec(40), msec(40), msec(40)])
+        with pytest.raises(ChainValidationError, match="exceeds budget"):
+            assigned.check_budget()
+
+    def test_budget_check_enforces_bseg(self):
+        chain = EventChain(
+            name="front",
+            segments=sample_chain(),
+            period=msec(100),
+            budget_e2e=msec(1000),
+            budget_seg=msec(50),
+        )
+        assigned = chain.with_deadlines([msec(10), msec(60), msec(10), msec(10)])
+        with pytest.raises(ChainValidationError, match="exceeds B_seg"):
+            assigned.check_budget()
+
+    def test_budget_check_passes_for_feasible_assignment(self):
+        chain = EventChain(
+            name="front", segments=sample_chain(), period=msec(100), budget_e2e=msec(300)
+        )
+        assigned = chain.with_deadlines([msec(10), msec(80), msec(10), msec(90)])
+        assigned.check_budget()  # no raise
+
+    def test_deadline_sum_requires_assignment(self):
+        chain = EventChain(
+            name="front", segments=sample_chain(), period=msec(100), budget_e2e=msec(300)
+        )
+        with pytest.raises(ChainValidationError):
+            chain.deadline_sum()
+
+    def test_wrong_deadline_count_rejected(self):
+        chain = EventChain(
+            name="front", segments=sample_chain(), period=msec(100), budget_e2e=msec(300)
+        )
+        with pytest.raises(ValueError):
+            chain.with_deadlines([msec(10)])

@@ -1,0 +1,365 @@
+"""Integration tests for remote segment monitoring (paper Sec. IV-B)."""
+
+import pytest
+
+from _harness import Message, activation_of, message_topic, two_ecu_world
+
+from repro.core import (
+    ChainRuntime,
+    EventChain,
+    InterArrivalMonitor,
+    MKConstraint,
+    MonitorThread,
+    LocalSegmentRuntime,
+    Outcome,
+    PropagateAlways,
+    RecoverAlways,
+    SyncRemoteMonitor,
+    TimeoutContext,
+)
+from repro.core.segments import local_segment, remote_segment
+from repro.dds import Topic
+from repro.ros import Node
+from repro.sim import Compute, msec, usec
+
+
+def remote_setup(
+    seed=1,
+    loss=0.0,
+    jitter=0,
+    d_mon=msec(5),
+    period=msec(100),
+    context=TimeoutContext.MONITOR_THREAD,
+    handler=None,
+    mk=MKConstraint(1, 5),
+):
+    """ECU1 publisher -> link -> ECU2 subscriber with a sync monitor."""
+    sim, ecu1, ecu2, domain = two_ecu_world(seed=seed, loss=loss, jitter=jitter)
+    sender = Node(domain, ecu1, "sender", priority=40)
+    receiver = Node(domain, ecu2, "receiver", priority=30)
+    topic = message_topic("points")
+    received = []
+    sub = receiver.create_subscription(
+        topic, lambda s: received.append((s.data.frame_index, sim.now, s.recovered))
+    )
+    pub = sender.create_publisher(topic)
+    segment = remote_segment("seg_net", "points", "ecu1", "ecu2", d_mon=d_mon)
+    monitor_thread = MonitorThread(ecu2, priority=99)
+    monitor = SyncRemoteMonitor(
+        segment,
+        sub.reader,
+        period=period,
+        handler=handler,
+        mk=mk,
+        context=context,
+        monitor_thread=monitor_thread,
+        activation_fn=activation_of,
+    )
+    chain = EventChain(
+        name="net_chain", segments=[segment], period=period,
+        budget_e2e=d_mon + msec(1), mk=mk,
+    )
+    runtime = ChainRuntime(chain)
+    monitor.reporters.append(runtime)
+    return sim, pub, monitor, received, runtime, monitor_thread
+
+
+class TestNominalOperation:
+    def test_on_time_samples_record_ok(self):
+        sim, pub, monitor, received, runtime, _mt = remote_setup()
+        for i in range(5):
+            sim.schedule_at(msec(1) + i * msec(100), pub.publish, Message(frame_index=i))
+        # Stop before the (legitimate) timeout for the never-sent frame 5
+        # at 401 + 100 + 5 = 506ms.
+        sim.run(until=msec(500))
+        monitor.stop()
+        outcomes = [o for _n, _l, o in monitor.latencies]
+        assert outcomes == [Outcome.OK] * 5
+        assert len(received) == 5
+        assert monitor.exceptions == []
+
+    def test_latency_is_network_response_time(self):
+        sim, pub, monitor, received, _rt, _mt = remote_setup()
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(50))
+        monitor.stop()
+        _n, latency, _o = monitor.latencies[0]
+        # 200us link + 10us ksoftirq + serialization (negligible at 1e12).
+        assert usec(200) <= latency <= usec(260)
+
+    def test_timer_armed_for_next_activation(self):
+        sim, pub, monitor, _rx, _rt, _mt = remote_setup(d_mon=msec(5))
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(50))
+        assert monitor.awaiting == 1
+        # Deadline = source_ts (1ms) + period (100ms) + d_mon (5ms).
+        assert monitor.deadline_local == msec(106)
+        monitor.stop()
+
+
+class TestViolationDetection:
+    def test_missing_sample_detected_at_programmed_deadline(self):
+        sim, pub, monitor, received, runtime, _mt = remote_setup(d_mon=msec(5))
+        # Frame 0 on time; frame 1 never sent.
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(300))
+        monitor.stop()
+        assert len(monitor.exceptions) >= 1
+        exc = monitor.exceptions[0]
+        assert exc.activation == 1
+        assert exc.deadline == msec(106)
+        # Handled via the high-priority monitor thread: entry within ~50us.
+        assert 0 <= exc.detection_latency <= usec(100)
+
+    def test_consecutive_misses_each_detected(self):
+        """The key advantage over inter-arrival monitoring: every
+        missing activation raises its own exception, period by period."""
+        sim, pub, monitor, _rx, runtime, _mt = remote_setup(d_mon=msec(5))
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        # Frames 1..3 never sent.
+        sim.run(until=msec(450))
+        monitor.stop()
+        activations = [e.activation for e in monitor.exceptions]
+        assert activations[:3] == [1, 2, 3]
+        deadlines = [e.deadline for e in monitor.exceptions[:3]]
+        assert deadlines == [msec(106), msec(206), msec(306)]
+
+    def test_late_sample_discarded_after_exception(self):
+        sim, pub, monitor, received, _rt, _mt = remote_setup(d_mon=msec(5))
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        # Frame 1 sent 50ms late: deadline was 106ms, arrives ~151ms.
+        sim.schedule_at(msec(151), pub.publish, Message(frame_index=1))
+        sim.schedule_at(msec(201), pub.publish, Message(frame_index=2))
+        sim.run(until=msec(400))
+        monitor.stop()
+        frames = [f for f, _t, _r in received]
+        assert 1 not in frames
+        assert monitor.late_discarded == 1
+        # Frame 2 still accepted (rate preserved).
+        assert 2 in frames
+
+    def test_exception_reported_as_miss_to_chain(self):
+        sim, pub, monitor, _rx, runtime, _mt = remote_setup(
+            d_mon=msec(5), handler=PropagateAlways()
+        )
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(250))
+        monitor.stop()
+        report = runtime.finalize()
+        assert report.miss_count >= 1
+        assert report.activations[1].violated
+
+
+class TestRecoveryAndPropagation:
+    def test_recovery_issues_receive_event(self):
+        handler = RecoverAlways(
+            lambda ctx: Message(frame_index=ctx.exception.activation, value="sub")
+        )
+        sim, pub, monitor, received, runtime, _mt = remote_setup(
+            d_mon=msec(5), handler=handler
+        )
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(250))
+        monitor.stop()
+        recovered = [(f, r) for f, _t, r in received if r]
+        assert (1, True) in recovered
+        report = runtime.finalize()
+        assert report.recovered_count >= 1
+        assert not report.activations[1].violated
+
+    def test_recovery_uses_last_good_data(self):
+        captured = []
+
+        class Probe(RecoverAlways):
+            def __init__(self):
+                super().__init__(lambda ctx: ctx.last_good_data)
+
+            def user_exception(self, context):
+                captured.append(context.last_good_data)
+                return super().user_exception(context)
+
+        sim, pub, monitor, received, _rt, _mt = remote_setup(
+            d_mon=msec(5), handler=Probe()
+        )
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0, value="good"))
+        sim.run(until=msec(250))
+        monitor.stop()
+        assert captured and captured[0].value == "good"
+
+    def test_propagation_sends_error_event_to_next_local(self):
+        sim, pub, monitor, _rx, runtime, monitor_thread = remote_setup(
+            d_mon=msec(5), handler=PropagateAlways()
+        )
+        next_seg = local_segment("seg_next", "ecu2", "points", "out", d_mon=msec(10))
+        next_runtime = LocalSegmentRuntime(next_seg, activation_fn=activation_of)
+        monitor_thread.add_segment(next_runtime)
+        next_runtime.reporters.append(runtime)
+        # Chain runtime is for a different chain shape; just check the
+        # SKIPPED report arrives.
+        monitor.next_local = [next_runtime]
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(250))
+        monitor.stop()
+        assert runtime.records[1]["seg_next"].outcome is Outcome.SKIPPED
+
+
+class TestTimeoutContexts:
+    def test_middleware_context_entry_latency_grows_under_load(self):
+        sim, pub, monitor, _rx, _rt, _mt = remote_setup(
+            d_mon=msec(5), context=TimeoutContext.MIDDLEWARE
+        )
+        # Load the receiving ECU's cores with mid-priority hogs above
+        # the middleware priority (30) but below ksoftirq (90).
+        ecu2 = monitor.ecu
+
+        def hog(_):
+            from repro.sim import Sleep
+
+            while True:
+                yield Compute(msec(8))
+                yield Sleep(usec(200))
+
+        for i in range(2):
+            ecu2.spawn(f"hog{i}", hog, priority=50)
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(400))
+        monitor.stop()
+        assert monitor.entry_latency_samples
+        # Middleware thread crowded out by the hogs: entry latency far
+        # above the monitor-thread path.
+        assert max(monitor.entry_latency_samples) > usec(300)
+
+    def test_monitor_thread_context_entry_latency_stays_bounded(self):
+        sim, pub, monitor, _rx, _rt, _mt = remote_setup(
+            d_mon=msec(5), context=TimeoutContext.MONITOR_THREAD
+        )
+        ecu2 = monitor.ecu
+
+        def hog(_):
+            while True:
+                yield Compute(msec(50))
+
+        for i in range(2):
+            ecu2.spawn(f"hog{i}", hog, priority=50)
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(400))
+        monitor.stop()
+        assert monitor.entry_latency_samples
+        # Highest priority: preempts the hogs immediately.
+        assert max(monitor.entry_latency_samples) < usec(200)
+
+
+class TestLossHandling:
+    def test_lost_best_effort_samples_become_exceptions(self):
+        sim, pub, monitor, received, runtime, _mt = remote_setup(
+            seed=7, loss=0.3, d_mon=msec(5)
+        )
+        for i in range(30):
+            sim.schedule_at(msec(1) + i * msec(100), pub.publish, Message(frame_index=i))
+        sim.run(until=msec(3200))
+        monitor.stop()
+        delivered = {f for f, _t, _r in received}
+        excepted = {e.activation for e in monitor.exceptions}
+        # Monitoring initializes at the first reception (paper Fig. 8):
+        # losses before that are inherently invisible.  From then on,
+        # every activation either arrived or raised an exception.
+        first = min(delivered)
+        assert delivered | excepted >= set(range(first, 30))
+        assert delivered.isdisjoint(excepted)
+
+
+class TestInterArrivalMonitor:
+    def _build(self, t_max, seed=1, rearm=False):
+        sim, ecu1, ecu2, domain = two_ecu_world(seed=seed)
+        sender = Node(domain, ecu1, "sender", priority=40)
+        receiver = Node(domain, ecu2, "receiver", priority=30)
+        topic = message_topic("points")
+        sub = receiver.create_subscription(topic, lambda s: None)
+        pub = sender.create_publisher(topic)
+        monitor_thread = MonitorThread(ecu2, priority=99)
+        monitor = InterArrivalMonitor(
+            sub.reader,
+            t_max_ia=t_max,
+            context=TimeoutContext.MONITOR_THREAD,
+            monitor_thread=monitor_thread,
+            rearm_on_expiry=rearm,
+        )
+        return sim, pub, monitor
+
+    def test_detects_silence(self):
+        sim, pub, monitor = self._build(t_max=msec(110))
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        sim.run(until=msec(400))
+        monitor.stop()
+        assert len(monitor.detections) == 1
+
+    def test_accumulating_lateness_undetected(self):
+        """Each sample 8ms later than the last: per-hop gap 108ms stays
+        under t_max=110ms, while absolute latency grows unboundedly --
+        the false-negative blind spot of Fig. 6."""
+        sim, pub, monitor = self._build(t_max=msec(110))
+        for i in range(20):
+            # Nominal period 100ms plus 8ms cumulative drift.
+            sim.schedule_at(msec(1) + i * msec(108), pub.publish, Message(frame_index=i))
+        # Stop before the trailing silence (last frame ~2053ms) would
+        # legitimately fire the timer at ~2163ms.
+        sim.run(until=msec(2150))
+        monitor.stop()
+        # Frame 19 is 19*8 = 152ms late in absolute terms, yet nothing
+        # was ever detected.
+        assert monitor.detections == []
+
+    def test_tight_setting_false_positives_on_jitter(self):
+        sim, pub, monitor = self._build(t_max=msec(100))
+        # Benign arrival jitter: alternating 99/101ms gaps around 100ms.
+        t = msec(1)
+        for i in range(20):
+            sim.schedule_at(t, pub.publish, Message(frame_index=i))
+            t += msec(99) if i % 2 == 0 else msec(101)
+        sim.run(until=msec(2300))
+        monitor.stop()
+        # Several spurious detections despite no real violation.
+        assert len(monitor.detections) >= 5
+
+    def test_without_rearm_consecutive_misses_collapse_to_one(self):
+        sim, pub, monitor = self._build(t_max=msec(110), rearm=False)
+        sim.schedule_at(msec(1), pub.publish, Message(frame_index=0))
+        # Silence for 5 periods: only ONE detection (timer armed on
+        # arrival only) -- cannot count m misses.
+        sim.run(until=msec(600))
+        monitor.stop()
+        assert len(monitor.detections) == 1
+
+    def test_invalid_params(self):
+        sim, ecu1, ecu2, domain = two_ecu_world()
+        receiver = Node(domain, ecu2, "receiver", priority=30)
+        sub = receiver.create_subscription(message_topic("t"), lambda s: None)
+        with pytest.raises(ValueError):
+            InterArrivalMonitor(sub.reader, t_max_ia=0)
+        with pytest.raises(ValueError):
+            InterArrivalMonitor(
+                sub.reader, t_max_ia=1, context=TimeoutContext.MONITOR_THREAD
+            )
+
+
+class TestValidation:
+    def test_local_segment_rejected(self):
+        sim, pub, monitor, _rx, _rt, mt = remote_setup()
+        seg = local_segment("l", "ecu2", "a", "b", d_mon=msec(5))
+        with pytest.raises(ValueError):
+            SyncRemoteMonitor(seg, monitor.reader, period=msec(100), monitor_thread=mt)
+
+    def test_deadline_required(self):
+        sim, pub, monitor, _rx, _rt, mt = remote_setup()
+        seg = remote_segment("r", "points", "ecu1", "ecu2")
+        with pytest.raises(ValueError):
+            SyncRemoteMonitor(seg, monitor.reader, period=msec(100), monitor_thread=mt)
+
+    def test_monitor_thread_required_for_context(self):
+        sim, pub, monitor, _rx, _rt, _mt = remote_setup()
+        seg = remote_segment("r2", "points", "ecu1", "ecu2", d_mon=msec(5))
+        with pytest.raises(ValueError):
+            SyncRemoteMonitor(
+                seg, monitor.reader, period=msec(100),
+                context=TimeoutContext.MONITOR_THREAD, monitor_thread=None,
+            )

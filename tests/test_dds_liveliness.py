@@ -1,0 +1,152 @@
+"""Tests for the liveliness QoS (lease-based writer supervision)."""
+
+import pytest
+
+from repro.dds import DdsDomain, QosProfile, ReaderListener, Topic
+from repro.network import Link, NetworkStack
+from repro.sim import Ecu, Simulator, msec, usec
+
+
+class LivelinessLog(ReaderListener):
+    def __init__(self, sim):
+        self.sim = sim
+        self.events = []
+
+    def on_liveliness_changed(self, reader, writer_id, alive):
+        self.events.append((writer_id, alive, self.sim.now))
+
+
+def local_world():
+    sim = Simulator(seed=1)
+    ecu = Ecu(sim, "ecu1", n_cores=2)
+    domain = DdsDomain(sim, local_latency=usec(10))
+    return sim, ecu, domain
+
+
+class TestLivelinessLocal:
+    def test_data_asserts_liveliness(self):
+        sim, ecu, domain = local_world()
+        part = domain.create_participant(ecu, "sub")
+        pub_part = domain.create_participant(ecu, "pub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = part.create_reader(
+            topic, qos=QosProfile(liveliness_lease=msec(50)), listener=log
+        )
+        writer = pub_part.create_writer(topic)
+        sim.schedule_at(msec(1), writer.write, "x")
+        sim.run(until=msec(20))
+        alive_events = [(w, a) for w, a, _t in log.events]
+        assert (writer.guid, True) in alive_events
+        assert reader.writer_alive[writer.guid] is True
+
+    def test_lease_expiry_reports_dead(self):
+        sim, ecu, domain = local_world()
+        part = domain.create_participant(ecu, "sub")
+        pub_part = domain.create_participant(ecu, "pub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = part.create_reader(
+            topic, qos=QosProfile(liveliness_lease=msec(50)), listener=log
+        )
+        writer = pub_part.create_writer(topic)
+        sim.schedule_at(msec(1), writer.write, "x")
+        sim.run(until=msec(200))
+        reader.cancel_liveliness()
+        assert (writer.guid, False) in [(w, a) for w, a, _t in log.events]
+        assert reader.writer_alive[writer.guid] is False
+        # Lost roughly one lease after the last assertion.
+        lost_time = next(t for w, a, t in log.events if not a)
+        assert msec(50) <= lost_time <= msec(60)
+
+    def test_regular_traffic_keeps_writer_alive(self):
+        sim, ecu, domain = local_world()
+        part = domain.create_participant(ecu, "sub")
+        pub_part = domain.create_participant(ecu, "pub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = part.create_reader(
+            topic, qos=QosProfile(liveliness_lease=msec(50)), listener=log
+        )
+        writer = pub_part.create_writer(topic)
+        for i in range(10):
+            sim.schedule_at(msec(1 + 20 * i), writer.write, i)
+        sim.run(until=msec(195))
+        reader.cancel_liveliness()
+        assert not any(a is False for _w, a, _t in log.events)
+
+    def test_manual_assertion_without_data(self):
+        sim, ecu, domain = local_world()
+        part = domain.create_participant(ecu, "sub")
+        pub_part = domain.create_participant(ecu, "pub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = part.create_reader(
+            topic, qos=QosProfile(liveliness_lease=msec(50)), listener=log
+        )
+        writer = pub_part.create_writer(topic)
+        for i in range(6):
+            sim.schedule_at(msec(1 + 30 * i), writer.assert_liveliness)
+        sim.run(until=msec(160))
+        reader.cancel_liveliness()
+        assert (writer.guid, True) in [(w, a) for w, a, _t in log.events]
+        assert not any(a is False for _w, a, _t in log.events)
+        # No data was ever delivered.
+        assert reader.received == 0
+
+    def test_liveliness_regained_after_silence(self):
+        sim, ecu, domain = local_world()
+        part = domain.create_participant(ecu, "sub")
+        pub_part = domain.create_participant(ecu, "pub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = part.create_reader(
+            topic, qos=QosProfile(liveliness_lease=msec(30)), listener=log
+        )
+        writer = pub_part.create_writer(topic)
+        sim.schedule_at(msec(1), writer.write, 1)
+        # silence until 100ms, then traffic resumes
+        sim.schedule_at(msec(100), writer.write, 2)
+        sim.run(until=msec(120))
+        reader.cancel_liveliness()
+        flags = [a for _w, a, _t in log.events]
+        assert flags == [True, False, True]
+
+    def test_disabled_without_lease(self):
+        sim, ecu, domain = local_world()
+        part = domain.create_participant(ecu, "sub")
+        pub_part = domain.create_participant(ecu, "pub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = part.create_reader(topic, listener=log)
+        writer = pub_part.create_writer(topic)
+        sim.schedule_at(msec(1), writer.write, "x")
+        sim.run(until=msec(100))
+        assert log.events == []
+        assert reader.writer_alive == {}
+
+    def test_invalid_lease_rejected(self):
+        with pytest.raises(ValueError):
+            QosProfile(liveliness_lease=0)
+
+
+class TestLivelinessRemote:
+    def test_assertion_travels_over_the_link(self):
+        sim = Simulator(seed=1)
+        ecu1 = Ecu(sim, "ecu1", n_cores=1)
+        ecu2 = Ecu(sim, "ecu2", n_cores=2)
+        domain = DdsDomain(sim)
+        domain.register_stack(ecu2, NetworkStack(ecu2))
+        domain.add_link(ecu1, ecu2, Link(sim, "l", base_latency=usec(100)))
+        pub_part = domain.create_participant(ecu1, "pub")
+        sub_part = domain.create_participant(ecu2, "sub")
+        topic = Topic("t")
+        log = LivelinessLog(sim)
+        reader = sub_part.create_reader(
+            topic, qos=QosProfile(liveliness_lease=msec(50)), listener=log
+        )
+        writer = pub_part.create_writer(topic)
+        sim.schedule_at(msec(1), writer.assert_liveliness)
+        sim.run(until=msec(20))
+        reader.cancel_liveliness()
+        assert (writer.guid, True) in [(w, a) for w, a, _t in log.events]

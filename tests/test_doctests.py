@@ -1,0 +1,11 @@
+"""Run the doctests embedded in API docstrings."""
+
+import doctest
+
+import repro.sim.kernel
+
+
+def test_kernel_doctests():
+    results = doctest.testmod(repro.sim.kernel)
+    assert results.failed == 0
+    assert results.attempted >= 1

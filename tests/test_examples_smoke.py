@@ -1,0 +1,51 @@
+"""The examples must stay runnable: execute them as subprocesses.
+
+Marked slow-ish; each example is bounded to a few minutes.  The
+perception/budgeting walkthroughs are exercised indirectly through the
+experiment tests, so only the faster examples run here.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, timeout: int = 600) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "(2,10) satisfied: True" in out
+        assert "RRRRR" in out  # the slowed frames recovered
+
+    def test_real_ipc_monitor(self):
+        out = run_example("real_ipc_monitor.py")
+        assert "exceptions: [50, 51, 120]" in out
+        assert "monitor latency" in out
+
+    def test_examples_exist_and_have_docstrings(self):
+        expected = {
+            "quickstart.py",
+            "perception_pipeline.py",
+            "budgeting_workflow.py",
+            "remote_monitoring_comparison.py",
+            "real_ipc_monitor.py",
+        }
+        found = {p.name for p in EXAMPLES.glob("*.py")}
+        assert expected <= found
+        for name in expected:
+            text = (EXAMPLES / name).read_text()
+            assert text.lstrip().startswith(("#!", '"""')), name

@@ -1,0 +1,44 @@
+"""Tests for shared experiment configuration helpers."""
+
+import pytest
+
+from repro.experiments.common import default_frames, interference_governor
+from repro.sim import Simulator
+from repro.sim.cpu import Ecu
+
+
+class TestDefaultFrames:
+    def test_fallback_used_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FRAMES", raising=False)
+        assert default_frames(123) == 123
+
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRAMES", "4700")
+        assert default_frames(123) == 4700
+
+    def test_env_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRAMES", "3")
+        assert default_frames() == 10
+
+    def test_empty_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FRAMES", "")
+        assert default_frames(77) == 77
+
+
+class TestInterferenceGovernor:
+    def test_factory_produces_independent_instances(self):
+        factory = interference_governor()
+        a, b = factory(), factory()
+        assert a is not b
+
+    def test_governor_attachable(self):
+        sim = Simulator(seed=1)
+        ecu = Ecu(sim, "e", n_cores=2, governor_factory=interference_governor())
+        assert all(core.governor is not None for core in ecu.scheduler.cores)
+        assert all(core.speed == 1.0 for core in ecu.scheduler.cores)
+
+    def test_parameters_forwarded(self):
+        factory = interference_governor(slow_min=0.2, slow_max=0.3)
+        governor = factory()
+        assert governor.slow_min == 0.2
+        assert governor.slow_max == 0.3

@@ -1,0 +1,145 @@
+"""Unit tests for the link model (latency, jitter, FIFO, loss)."""
+
+import pytest
+
+from repro.network import Frame, JitterModel, Link
+from repro.sim import Simulator, msec, usec
+
+
+def frame(size=1000):
+    return Frame(payload="data", size_bytes=size, src="ecu1", dst="ecu2")
+
+
+class TestDelay:
+    def test_base_latency_only(self):
+        sim = Simulator()
+        link = Link(sim, "l", base_latency=usec(100), bandwidth_bps=1e12)
+        arrivals = []
+        link.transmit(frame(size=0), lambda f: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [usec(100)]
+
+    def test_serialization_delay_scales_with_size(self):
+        sim = Simulator()
+        # 1 Gbit/s: 1250 bytes = 10000 bits -> 10us.
+        link = Link(sim, "l", base_latency=0, bandwidth_bps=1e9)
+        arrivals = []
+        link.transmit(frame(size=1250), lambda f: arrivals.append(sim.now))
+        sim.run()
+        assert arrivals == [usec(10)]
+
+    def test_uniform_jitter_bounded(self):
+        sim = Simulator(seed=5)
+        link = Link(
+            sim,
+            "l",
+            base_latency=usec(50),
+            jitter=JitterModel("uniform", usec(20)),
+            bandwidth_bps=1e12,
+        )
+        arrivals = []
+        for _ in range(100):
+            sim_send = sim.now
+            link.transmit(frame(size=0), lambda f, t0=sim_send: arrivals.append(sim.now - t0))
+            sim.run()
+        assert all(usec(50) <= d <= usec(70) + 100 for d in arrivals)
+        assert len(set(arrivals)) > 3
+
+    def test_lognormal_jitter_clipped(self):
+        sim = Simulator(seed=5)
+        model = JitterModel("lognormal", usec(100))
+        rng = sim.rng("j")
+        samples = [model.sample(rng) for _ in range(5000)]
+        assert all(0 <= s <= 20 * usec(100) for s in samples)
+
+    def test_unknown_jitter_kind_rejected(self):
+        with pytest.raises(ValueError):
+            JitterModel("gamma", 10)
+
+
+class TestFifo:
+    def test_frames_never_reorder(self):
+        sim = Simulator(seed=11)
+        link = Link(
+            sim,
+            "l",
+            base_latency=usec(10),
+            jitter=JitterModel("uniform", usec(500)),
+            bandwidth_bps=1e12,
+        )
+        received = []
+        for i in range(50):
+            sim.schedule_at(
+                i * usec(20),
+                lambda i=i: link.transmit(
+                    Frame(payload=i, size_bytes=100, src="a", dst="b"),
+                    lambda f: received.append(f.payload),
+                ),
+            )
+        sim.run()
+        assert received == sorted(received)
+        assert len(received) == 50
+
+
+class TestLoss:
+    def test_zero_loss_delivers_everything(self):
+        sim = Simulator()
+        link = Link(sim, "l", loss_prob=0.0)
+        count = []
+        for _ in range(20):
+            link.transmit(frame(), lambda f: count.append(1))
+        sim.run()
+        assert len(count) == 20
+        assert link.stats.lost == 0
+
+    def test_loss_rate_approximated(self):
+        sim = Simulator(seed=2)
+        link = Link(sim, "l", loss_prob=0.3)
+        delivered = []
+        for _ in range(2000):
+            link.transmit(frame(), lambda f: delivered.append(1))
+        sim.run()
+        rate = 1 - len(delivered) / 2000
+        assert 0.25 < rate < 0.35
+        assert link.stats.lost + link.stats.delivered == link.stats.sent
+
+    def test_loss_hook_called(self):
+        sim = Simulator(seed=2)
+        link = Link(sim, "l", loss_prob=0.999)
+        lost = []
+        link.on_loss = lambda f: lost.append(f.seq)
+        for _ in range(10):
+            link.transmit(frame(), lambda f: None)
+        sim.run()
+        assert len(lost) >= 9
+
+    def test_transmit_returns_false_on_loss(self):
+        sim = Simulator(seed=1)
+        link = Link(sim, "l", loss_prob=0.999)
+        results = [link.transmit(frame(), lambda f: None) for _ in range(20)]
+        assert False in results
+
+    def test_invalid_loss_prob_rejected(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            Link(sim, "l", loss_prob=1.0)
+
+
+class TestStats:
+    def test_bytes_counted(self):
+        sim = Simulator()
+        link = Link(sim, "l")
+        link.transmit(frame(size=500), lambda f: None)
+        link.transmit(frame(size=700), lambda f: None)
+        sim.run()
+        assert link.stats.bytes_sent == 1200
+
+    def test_sequence_numbers_increment(self):
+        sim = Simulator()
+        link = Link(sim, "l")
+        seqs = []
+        for _ in range(3):
+            f = frame()
+            link.transmit(f, lambda f: None)
+            seqs.append(f.seq)
+        assert seqs == [0, 1, 2]

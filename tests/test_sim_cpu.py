@@ -1,0 +1,161 @@
+"""Unit tests for ECUs and frequency governors."""
+
+import pytest
+
+from repro.sim import (
+    BurstyGovernor,
+    Compute,
+    ConstantGovernor,
+    Ecu,
+    OndemandGovernor,
+    Simulator,
+    Sleep,
+    msec,
+    sec,
+)
+
+
+class TestConstantGovernor:
+    def test_sets_speed_on_attach(self):
+        sim = Simulator()
+        ecu = Ecu(sim, "e", n_cores=1, governor_factory=lambda: ConstantGovernor(0.5))
+        assert ecu.scheduler.cores[0].speed == 0.5
+
+    def test_invalid_speed_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantGovernor(0)
+
+
+class TestOndemandGovernor:
+    def test_starts_at_low_speed(self):
+        sim = Simulator()
+        ecu = Ecu(
+            sim,
+            "e",
+            n_cores=1,
+            governor_factory=lambda: OndemandGovernor(low=0.4, high=1.0),
+        )
+        assert ecu.scheduler.cores[0].speed == 0.4
+
+    def test_ramps_up_after_delay_while_busy(self):
+        sim = Simulator()
+        ecu = Ecu(
+            sim,
+            "e",
+            n_cores=1,
+            governor_factory=lambda: OndemandGovernor(
+                low=0.5, high=1.0, ramp_delay=msec(2), idle_delay=msec(5)
+            ),
+        )
+        marks = []
+
+        def body(_):
+            yield Compute(msec(4))
+            marks.append(sim.now)
+
+        ecu.spawn("t", body)
+        sim.run()
+        # 2ms at speed 0.5 completes 1ms of work; the remaining 3ms of
+        # work at speed 1.0 takes 3ms: total 5ms wall time.
+        assert marks == [msec(5)]
+
+    def test_drops_back_after_idle(self):
+        sim = Simulator()
+        ecu = Ecu(
+            sim,
+            "e",
+            n_cores=1,
+            governor_factory=lambda: OndemandGovernor(
+                low=0.5, high=1.0, ramp_delay=msec(1), idle_delay=msec(3)
+            ),
+        )
+
+        def body(_):
+            yield Compute(msec(4))
+            yield Sleep(msec(10))
+
+        ecu.spawn("t", body)
+        sim.run()
+        assert ecu.scheduler.cores[0].speed == 0.5
+
+    def test_work_after_idle_gap_is_slow_at_first(self):
+        """Race-to-idle effect: periodic work landing on a slowed-down
+        core sees inflated latency -- a source of the paper's tail."""
+        sim = Simulator()
+        ecu = Ecu(
+            sim,
+            "e",
+            n_cores=1,
+            governor_factory=lambda: OndemandGovernor(
+                low=0.25, high=1.0, ramp_delay=msec(2), idle_delay=msec(1)
+            ),
+        )
+        latencies = []
+
+        def body(_):
+            for _i in range(3):
+                start = sim.now
+                yield Compute(msec(1))
+                latencies.append(sim.now - start)
+                yield Sleep(msec(20))
+
+        ecu.spawn("t", body)
+        sim.run()
+        # Each burst starts at low speed: 2ms at 0.25 does 0.5ms of work,
+        # remaining 0.5ms at 1.0 -> 2.5ms per burst, never the nominal 1ms.
+        assert all(lat > msec(1) for lat in latencies)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            OndemandGovernor(low=1.2, high=1.0)
+
+
+class TestBurstyGovernor:
+    def test_speed_excursions_slow_down_work(self):
+        sim = Simulator(seed=7)
+        ecu = Ecu(
+            sim,
+            "e",
+            n_cores=1,
+            governor_factory=lambda: BurstyGovernor(
+                nominal=1.0,
+                slow_min=0.1,
+                slow_max=0.2,
+                mean_interval=msec(5),
+                mean_dwell=msec(5),
+            ),
+        )
+        latencies = []
+
+        def body(_):
+            for _i in range(200):
+                start = sim.now
+                yield Compute(msec(1))
+                latencies.append(sim.now - start)
+
+        ecu.spawn("t", body)
+        # The governor keeps scheduling excursions forever, so bound the run.
+        sim.run(until=sec(10))
+        assert len(latencies) == 200
+        # Some executions hit an excursion and took noticeably longer.
+        assert max(latencies) > 2 * min(latencies)
+        assert min(latencies) == msec(1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            BurstyGovernor(nominal=1.0, slow_min=0.5, slow_max=0.4)
+
+
+class TestEcuComposition:
+    def test_each_core_gets_its_own_governor(self):
+        sim = Simulator()
+        governors = []
+
+        def factory():
+            governor = ConstantGovernor(0.8)
+            governors.append(governor)
+            return governor
+
+        Ecu(sim, "e", n_cores=4, governor_factory=factory)
+        assert len(governors) == 4
+        assert len(set(id(g) for g in governors)) == 4

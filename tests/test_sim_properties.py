@@ -1,0 +1,141 @@
+"""Property-based tests of simulator invariants.
+
+Random task sets are executed and global invariants checked:
+- priority inversion freedom: no ready thread ever outranks a running one
+  at a scheduling quiescence point;
+- work conservation: total CPU time charged equals the busy time cores
+  accumulated;
+- determinism: identical seeds yield identical schedules.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    Compute,
+    MulticoreScheduler,
+    Simulator,
+    Sleep,
+    msec,
+    usec,
+)
+from repro.sim.threads import ThreadState
+
+
+task_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=10),      # priority
+        st.integers(min_value=1, max_value=5),       # number of jobs
+        st.integers(min_value=100, max_value=5000),  # compute us per job
+        st.integers(min_value=0, max_value=3000),    # sleep us between jobs
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def build(sim, sched, tasks):
+    threads = []
+    for prio, jobs, compute_us, sleep_us in tasks:
+        def body(_, jobs=jobs, compute_us=compute_us, sleep_us=sleep_us):
+            for _j in range(jobs):
+                yield Compute(usec(compute_us))
+                if sleep_us:
+                    yield Sleep(usec(sleep_us))
+
+        threads.append(sched.spawn(f"t{len(threads)}", body, priority=prio))
+    return threads
+
+
+class TestSchedulerProperties:
+    @given(task_strategy, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=60, deadline=None)
+    def test_all_work_completes(self, tasks, n_cores):
+        sim = Simulator(seed=1)
+        sched = MulticoreScheduler(sim, n_cores=n_cores)
+        threads = build(sim, sched, tasks)
+        sim.run()
+        assert all(t.state is ThreadState.DONE for t in threads)
+        for thread, (prio, jobs, compute_us, _s) in zip(threads, tasks):
+            assert thread.total_cpu_time == jobs * usec(compute_us)
+
+    @given(task_strategy, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_work_conservation(self, tasks, n_cores):
+        sim = Simulator(seed=1)
+        sched = MulticoreScheduler(sim, n_cores=n_cores)
+        threads = build(sim, sched, tasks)
+        sim.run()
+        charged = sum(t.total_cpu_time for t in threads)
+        busy = sum(core.busy_time for core in sched.cores)
+        assert charged == busy
+
+    @given(task_strategy, st.integers(min_value=1, max_value=3))
+    @settings(max_examples=40, deadline=None)
+    def test_no_ready_thread_outranks_running(self, tasks, n_cores):
+        sim = Simulator(seed=1)
+        sched = MulticoreScheduler(sim, n_cores=n_cores)
+        build(sim, sched, tasks)
+        violations = []
+
+        def check():
+            running = [c.thread for c in sched.cores if c.thread is not None]
+            ready = [t for t in sched._ready if t.state is ThreadState.READY]
+            if running and ready and len(running) == len(sched.cores):
+                if max(t.priority for t in ready) > min(
+                    t.priority for t in running
+                ):
+                    violations.append(sim.now)
+
+        # Sample the invariant at quiescence points (after each event).
+        for t_us in range(0, 50_000, 500):
+            sim.schedule_at(usec(t_us), check, priority=10**6)
+        sim.run()
+        assert violations == []
+
+    @given(task_strategy)
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, tasks):
+        def run_once():
+            sim = Simulator(seed=7)
+            sched = MulticoreScheduler(sim, n_cores=2)
+            threads = build(sim, sched, tasks)
+            trace = []
+            sched.observers.append(
+                lambda kind, t: trace.append((sim.now, kind, t.name))
+            )
+            sim.run()
+            return trace, sim.now
+
+        first = run_once()
+        second = run_once()
+        assert first == second
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=100), min_size=2, max_size=8)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_single_core_priority_completion_order(self, priorities):
+        """On one core with simultaneous release and no sleeping,
+        strictly higher-priority threads finish no later than lower."""
+        sim = Simulator(seed=1)
+        sched = MulticoreScheduler(sim, n_cores=1)
+        finish = {}
+
+        def make(name, prio):
+            def body(_):
+                yield Compute(usec(100))
+                finish[name] = (sim.now, prio)
+            return body
+
+        # Release all at t=1ms (so spawn order does not pre-run anyone).
+        threads = []
+        for i, prio in enumerate(priorities):
+            def starter(name=f"t{i}", prio=prio):
+                sched.spawn(name, make(name, prio), priority=prio)
+            sim.schedule_at(msec(1), starter)
+        sim.run()
+        for (t_a, p_a) in finish.values():
+            for (t_b, p_b) in finish.values():
+                if p_a > p_b:
+                    assert t_a <= t_b

@@ -1,0 +1,60 @@
+"""Online (m,k) supervision and health reporting on the running stack."""
+
+import pytest
+
+from repro.core import MKConstraint, Outcome
+from repro.core.diagnostics import Health, HealthPolicy, HealthSupervisor
+from repro.experiments.common import interference_governor
+from repro.perception import PerceptionStack, StackConfig
+from repro.sim import msec
+
+
+class TestOnlineSupervision:
+    def test_violation_callback_fires_during_run(self):
+        """Wiring the chain runtime's online window to the application:
+        with a hard (0,1) constraint, any miss triggers the callback."""
+        violations = []
+        stack = PerceptionStack(StackConfig(
+            seed=3,
+            mk=MKConstraint(0, 1),
+            ecu2_governor=interference_governor(),
+        ))
+        runtime = stack.chain_runtimes["front_objects"]
+        runtime.on_violation = lambda n, misses: violations.append(n)
+        stack.run(n_frames=60)
+        runtime.advance_window(through_activation=55)
+        report = runtime.finalize(through_activation=55)
+        if report.miss_count > 0:
+            assert violations
+            assert all(0 <= n <= 55 for n in violations)
+
+    def test_health_supervisor_on_live_stack(self):
+        stack = PerceptionStack(StackConfig(
+            seed=3,
+            ecu2_governor=interference_governor(),
+        ))
+        supervisor = HealthSupervisor(
+            HealthPolicy(window=30, degraded_ratio=0.15, failed_consecutive=5)
+        )
+        for runtime in stack.local_runtimes.values():
+            supervisor.attach(runtime)
+        for monitor in stack.remote_monitors.values():
+            supervisor.attach(monitor)
+        stack.run(n_frames=60)
+        report = supervisor.report()
+        assert "system health" in report
+        # Interference causes occasional objects-segment exceptions but
+        # the segment never hard-fails (no 5 consecutive misses).
+        assert supervisor.state_of("s3_objects") in (Health.OK, Health.DEGRADED)
+
+    def test_mk_window_consistency_between_online_and_offline(self):
+        stack = PerceptionStack(StackConfig(
+            seed=3,
+            ecu2_governor=interference_governor(),
+        ))
+        stack.run(n_frames=50)
+        runtime = stack.chain_runtimes["front_objects"]
+        runtime.advance_window(through_activation=49)
+        report = runtime.finalize(through_activation=49)
+        assert runtime.window.violated == (not report.mk_satisfied)
+        assert runtime.window.total == 50
