@@ -91,6 +91,7 @@ class ChainRuntime:
         self,
         chain: EventChain,
         on_violation: Optional[Callable[[int, int], None]] = None,
+        on_activation: Optional[Callable[[int, bool], None]] = None,
     ):
         self.chain = chain
         self.window = MissWindow(chain.mk)
@@ -98,6 +99,10 @@ class ChainRuntime:
         self.records: Dict[int, Dict[str, SegmentRecord]] = {}
         self.exceptions: List[TemporalException] = []
         self.on_violation = on_violation
+        #: Called as ``on_activation(n, violated)`` for every activation
+        #: fed into the sliding window -- clean ones included, so
+        #: supervisors can de-escalate after a clean streak.
+        self.on_activation = on_activation
         self._finalized_through = -1
         self._known_violations: Dict[int, bool] = {}
 
@@ -139,6 +144,8 @@ class ChainRuntime:
             self._known_violations[n] = violated
             if self.window.record(violated) and self.on_violation is not None:
                 self.on_violation(n, self.window.misses_in_window)
+            if self.on_activation is not None:
+                self.on_activation(n, violated)
         self._finalized_through = max(self._finalized_through, through_activation)
 
     def _activation_violated(self, activation: int) -> bool:

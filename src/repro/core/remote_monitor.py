@@ -312,6 +312,31 @@ class SyncRemoteMonitor:
         for runtime in self.next_local:
             runtime.post_error_propagation(n)
 
+    @property
+    def armed(self) -> bool:
+        """True while the timeout timer is pending."""
+        return self._timer.armed
+
+    def arm(self, activation: int, deadline_local: int) -> None:
+        """Externally (re)arm the timeout for *activation*.
+
+        The monitor normally arms itself from the sender timestamp of
+        each arriving sample, which leaves a cold-start gap: a sensor
+        that is silent from the very first activation never arms the
+        timer and is never detected.  A watchdog (see
+        :class:`repro.faults.degradation.MonitorWatchdog`) closes the
+        gap by calling this with a local-clock deadline of its choosing.
+        """
+        self.awaiting = activation
+        self.deadline_local = deadline_local
+        self._timer.start_at(self._to_sim_time(deadline_local))
+        self.sim.emit_trace(
+            "syncmon.rearmed",
+            segment=self.segment.name,
+            n=activation,
+            deadline=deadline_local,
+        )
+
     def stop(self) -> None:
         """Disarm the monitor's timer (end of experiment)."""
         self._timer.cancel()

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Sequence
+from typing import Deque, Iterable, List, Sequence, Tuple, Union
 
 
 @dataclass(frozen=True)
@@ -21,10 +21,16 @@ class MKConstraint:
     k: int
 
     def __post_init__(self) -> None:
+        if not isinstance(self.m, int) or not isinstance(self.k, int):
+            raise ValueError(
+                f"(m, k) must be integers, got m={self.m!r}, k={self.k!r}"
+            )
         if self.k < 1:
-            raise ValueError("k must be >= 1")
+            raise ValueError(f"k must be >= 1, got k={self.k}")
         if not (0 <= self.m <= self.k):
-            raise ValueError("need 0 <= m <= k")
+            raise ValueError(
+                f"need 0 <= m <= k, got (m, k) = ({self.m}, {self.k})"
+            )
 
     @property
     def hard(self) -> bool:
@@ -45,9 +51,21 @@ class MissWindow:
     Feed outcomes with :meth:`record`; the window reports the current
     miss count and whether the constraint has been violated at any point
     so far.
+
+    Accepts a validated :class:`MKConstraint` or a plain ``(m, k)``
+    tuple, which is validated on construction -- a degenerate window
+    (``k < 1`` or ``m`` outside ``[0, k]``) raises ``ValueError``
+    immediately instead of silently mis-counting later.
     """
 
-    def __init__(self, constraint: MKConstraint):
+    def __init__(self, constraint: Union[MKConstraint, Tuple[int, int]]):
+        if isinstance(constraint, tuple):
+            constraint = MKConstraint(*constraint)
+        if not isinstance(constraint, MKConstraint):
+            raise ValueError(
+                "MissWindow needs an MKConstraint or an (m, k) tuple, "
+                f"got {constraint!r}"
+            )
         self.constraint = constraint
         self._window: Deque[bool] = deque(maxlen=constraint.k)
         self._misses_in_window = 0
@@ -104,7 +122,7 @@ def max_window_misses(misses: Sequence[bool], k: int) -> int:
     sliding-window maximum.  O(n).
     """
     if k < 1:
-        raise ValueError("k must be >= 1")
+        raise ValueError(f"k must be >= 1, got k={k}")
     best = 0
     current = 0
     window: Deque[bool] = deque()
@@ -122,6 +140,8 @@ def max_window_misses(misses: Sequence[bool], k: int) -> int:
 
 def satisfies_mk(misses: Sequence[bool], m: int, k: int) -> bool:
     """True iff no window of k consecutive outcomes has more than m misses."""
+    if m < 0:
+        raise ValueError(f"m must be non-negative, got m={m}")
     return max_window_misses(misses, k) <= m
 
 

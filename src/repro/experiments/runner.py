@@ -104,7 +104,21 @@ def _run_budgeting() -> str:
     )
 
 
+def _run_faults() -> str:
+    from repro.faults import run_default_campaign
+
+    result = run_default_campaign()
+    report = result.render_report()
+    if not result.passed:
+        for scenario in result.scenarios:
+            for failure in (scenario.soundness.failures
+                            + scenario.completeness.failures):
+                report += f"\n  {scenario.name}: {failure.detail}"
+    return "Fault-injection campaign\n" + report
+
+
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
+    "faults": _run_faults,
     "fig02": _run_fig02,
     "fig03": _run_fig03,
     "fig06": _run_fig06,

@@ -23,6 +23,10 @@ from repro.sim.workload import AffineModel, ExecutionTimeModel
 #: drop the frame entirely.
 FaultFn = Callable[[int], Optional[int]]
 
+#: Payload fault: maps (frame, captured cloud) to the cloud actually
+#: published -- e.g. a stuck sensor re-emitting its previous sweep.
+TransformFn = Callable[[int, PointCloud], PointCloud]
+
 
 def pointcloud_topic(name: str) -> Topic:
     """A topic sized by the actual point-cloud payload."""
@@ -48,6 +52,9 @@ class LidarDriver:
         CPU cost of assembling a sweep (driver-side).
     fault_fn:
         Optional per-frame fault injection (delay ns / None to drop).
+    transform_fn:
+        Optional payload fault applied to the captured cloud just
+        before publication (timing is unaffected).
     """
 
     def __init__(
@@ -60,6 +67,7 @@ class LidarDriver:
         qos: Optional[QosProfile] = None,
         capture_model: Optional[ExecutionTimeModel] = None,
         fault_fn: Optional[FaultFn] = None,
+        transform_fn: Optional[TransformFn] = None,
         jitter_ns: int = 0,
     ):
         self.node = node
@@ -70,6 +78,7 @@ class LidarDriver:
             base_ns=200_000, per_item_ns=20, noise=0.1
         )
         self.fault_fn = fault_fn
+        self.transform_fn = transform_fn
         self.publisher = node.create_publisher(topic, qos=qos)
         self.frames_published = 0
         self.frames_dropped = 0
@@ -100,5 +109,7 @@ class LidarDriver:
             sim.rng(f"lidar:{self.mount}"), size=len(cloud)
         )
         yield Compute(work + delay)
+        if self.transform_fn is not None:
+            cloud = self.transform_fn(frame, cloud)
         self.publisher.publish(cloud)
         self.frames_published += 1

@@ -64,9 +64,16 @@ class DrivingScenario:
     #: the same or slightly lagging frames).
     SNAPSHOT_KEEP = 64
 
-    def __init__(self, config: Optional[ScenarioConfig] = None):
+    def __init__(
+        self,
+        config: Optional[ScenarioConfig] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
         self.config = config or ScenarioConfig()
-        self._rng = np.random.default_rng(self.config.seed)
+        # An injected generator wins over the config seed so campaigns
+        # can share one stream; the default remains self-seeded -- never
+        # the global numpy state.
+        self._rng = rng if rng is not None else np.random.default_rng(self.config.seed)
         self._objects: List[_SceneObject] = []
         self._frame = -1
         self._snapshots: dict = {}

@@ -43,6 +43,7 @@ class TestExamples:
             "budgeting_workflow.py",
             "remote_monitoring_comparison.py",
             "real_ipc_monitor.py",
+            "fault_campaign.py",
         }
         found = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= found

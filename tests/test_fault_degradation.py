@@ -1,0 +1,148 @@
+"""Graceful degradation: the escalation ladder and the monitor watchdog."""
+
+import pytest
+
+from repro.core.chain_runtime import Outcome
+from repro.faults import (
+    DegradationMode,
+    EscalationPolicy,
+    GracefulDegradationManager,
+    GroundTruthRecorder,
+    LinkPartition,
+    LossBurst,
+    MonitorWatchdog,
+    SilentSensor,
+    check_completeness,
+)
+from repro.perception import PerceptionStack, StackConfig
+
+
+def build_stack(seed=11):
+    return PerceptionStack(StackConfig(seed=seed))
+
+
+class TestEscalationLadder:
+    def test_degrade_then_recover(self):
+        """A bounded burst: NORMAL -> DEGRADED -> back to NORMAL."""
+        stack = build_stack()
+        LossBurst("link_12", 8, 12).arm(stack)
+        manager = GracefulDegradationManager(
+            stack,
+            policy=EscalationPolicy(recover_after_clean=20,
+                                    safe_after_violations=100),
+        )
+        manager.start(n_frames=40)
+        stack.run(n_frames=40)
+        modes = [(old, new) for _t, old, new, _r in manager.transitions]
+        assert (DegradationMode.NORMAL, DegradationMode.DEGRADED) in modes
+        assert (DegradationMode.DEGRADED, DegradationMode.NORMAL) in modes
+        assert manager.mode is DegradationMode.NORMAL
+        assert manager.safe_state_entries == 0
+
+    def test_sustained_fault_reaches_safe_state_once(self):
+        stack = build_stack()
+        LinkPartition(["link_front", "link_rear"], 8, 34).arm(stack)
+        safe_calls = []
+        manager = GracefulDegradationManager(
+            stack,
+            policy=EscalationPolicy(safe_after_violations=6),
+            on_safe_state=lambda t, reason: safe_calls.append((t, reason)),
+        )
+        manager.start(n_frames=40)
+        stack.run(n_frames=40)
+        assert manager.mode is DegradationMode.SAFE
+        assert len(safe_calls) == 1
+        assert manager.safe_state_entries == 1
+        # SAFE restores the original handlers (nothing stays masked).
+        assert not manager._original_handlers
+
+    def test_degraded_mode_recovers_with_stale_data(self):
+        """In DEGRADED mode, remote misses are served from last-good
+        data (RECOVERED) instead of propagating (MISS)."""
+        stack = build_stack()
+        LossBurst("link_front", 8, 16).arm(stack)
+        manager = GracefulDegradationManager(
+            stack, policy=EscalationPolicy(safe_after_violations=1000)
+        )
+        manager.start(n_frames=30)
+        stack.run(n_frames=30)
+        outcomes = [
+            o for n, _lat, o in stack.remote_monitors["s0_front"].latencies
+            if 9 <= n <= 16
+        ]
+        assert Outcome.RECOVERED in outcomes
+
+    def test_manual_reset_leaves_safe(self):
+        stack = build_stack()
+        manager = GracefulDegradationManager(stack)
+        manager._enter_safe("test")
+        assert manager.mode is DegradationMode.SAFE
+        manager.reset()
+        assert manager.mode is DegradationMode.NORMAL
+        assert manager.violation_count == 0
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            EscalationPolicy(degrade_after_violations=0)
+        with pytest.raises(ValueError):
+            EscalationPolicy(degrade_after_violations=5,
+                             safe_after_violations=2)
+        with pytest.raises(ValueError):
+            EscalationPolicy(recover_after_clean=0)
+        with pytest.raises(ValueError):
+            EscalationPolicy(safe_after_consecutive_recoveries=0)
+
+    def test_prolonged_stale_service_escalates(self):
+        """Recovery masks misses; masking for too long is itself unsafe."""
+        stack = build_stack()
+        LinkPartition(["link_front", "link_rear"], 8, 34).arm(stack)
+        manager = GracefulDegradationManager(
+            stack,
+            policy=EscalationPolicy(safe_after_violations=10**6,
+                                    safe_after_consecutive_recoveries=12),
+        )
+        manager.start(n_frames=40)
+        stack.run(n_frames=40)
+        assert manager.mode is DegradationMode.SAFE
+        assert any("stale" in reason
+                   for _t, _o, new, reason in manager.transitions
+                   if new is DegradationMode.SAFE)
+
+
+class TestMonitorWatchdog:
+    def test_watchdog_arms_cold_monitor(self):
+        """A sensor silent from boot never produces the first sample the
+        monitor needs to arm itself; the watchdog closes that gap."""
+        stack = build_stack()
+        SilentSensor("front", 0, 10).arm(stack)
+        watchdog = MonitorWatchdog(stack)
+        watchdog.start(until_ns=36 * stack.config.period)
+        stack.run(n_frames=40)
+        assert any(seg == "s0_front" for _t, seg, _n in watchdog.rearms)
+        boot_outcomes = [
+            o for n, _lat, o in stack.remote_monitors["s0_front"].latencies
+            if n <= 10
+        ]
+        assert Outcome.MISS in boot_outcomes
+
+    def test_without_watchdog_boot_silence_is_invisible(self):
+        stack = build_stack()
+        SilentSensor("front", 0, 10).arm(stack)
+        truth = GroundTruthRecorder(stack)
+        stack.run(n_frames=40)
+        monitor = stack.remote_monitors["s0_front"]
+        assert all(n > 10 for n, _lat, _o in monitor.latencies)
+        for runtime in stack.chain_runtimes.values():
+            runtime.advance_window(39)
+        report = check_completeness(stack, truth, 2, 36)
+        assert not report.passed  # the violations exist, silently
+
+    def test_watchdog_respects_until(self):
+        stack = build_stack()
+        SilentSensor("front", 0, 39).arm(stack)
+        until = 10 * stack.config.period
+        watchdog = MonitorWatchdog(stack)
+        watchdog.start(until_ns=until)
+        stack.run(n_frames=40)
+        assert watchdog.rearms
+        assert all(t < until for t, _seg, _n in watchdog.rearms)

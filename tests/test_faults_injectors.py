@@ -1,0 +1,196 @@
+"""Unit tests for the fault injectors (mechanics, not oracles)."""
+
+import pytest
+
+from repro.core.chain_runtime import Outcome
+from repro.faults import (
+    ClockDrift,
+    ClockStep,
+    ExecutorStall,
+    GroundTruthRecorder,
+    LatencySpike,
+    LinkPartition,
+    LossBurst,
+    PtpHoldover,
+    SilentSensor,
+    StuckSensor,
+    frame_window_ns,
+)
+from repro.perception import PerceptionStack, StackConfig
+from repro.sim import msec
+
+
+def build_stack(seed=11):
+    return PerceptionStack(StackConfig(seed=seed))
+
+
+def monitor_outcomes(stack, segment, first=0, last=10**9):
+    monitor = stack.remote_monitors[segment]
+    return [o for n, _lat, o in monitor.latencies if first <= n < last]
+
+
+class TestBasics:
+    def test_frame_window_ns(self):
+        stack = build_stack()
+        period = stack.config.period
+        assert frame_window_ns(stack, 3, 5) == (3 * period, 6 * period)
+
+    def test_arm_twice_raises(self):
+        stack = build_stack()
+        burst = LossBurst("link_12", 2, 4)
+        burst.arm(stack)
+        with pytest.raises(RuntimeError):
+            burst.arm(stack)
+
+    def test_unknown_targets_raise(self):
+        stack = build_stack()
+        with pytest.raises(ValueError):
+            LossBurst("link_nope", 2, 4).arm(stack)
+        with pytest.raises(ValueError):
+            ClockStep("ecu9", 2, msec(1)).arm(stack)
+        with pytest.raises(ValueError):
+            ExecutorStall("nonsense_node", 2, msec(1)).arm(stack)
+        with pytest.raises(ValueError):
+            SilentSensor("left", 2, 4).arm(stack)
+
+    def test_latency_spike_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            LatencySpike("link_front", 2, 4, 0)
+
+
+class TestNetworkFaults:
+    def test_loss_burst_drops_and_causes_misses(self):
+        stack = build_stack()
+        burst = LossBurst("link_front", 6, 12)
+        burst.arm(stack)
+        stack.run(n_frames=20)
+        assert burst.dropped >= 6
+        assert burst.injections[0].kind == "loss_burst"
+        outcomes = monitor_outcomes(stack, "s0_front", 6, 13)
+        assert Outcome.MISS in outcomes
+
+    def test_latency_spike_restores_base_latency(self):
+        stack = build_stack()
+        link = stack.link_front
+        before = link.base_latency
+        spike = LatencySpike("link_front", 6, 12, msec(15))
+        spike.arm(stack)
+        stack.run(n_frames=20)
+        assert link.base_latency == before
+        assert Outcome.MISS in monitor_outcomes(stack, "s0_front", 6, 13)
+
+    def test_partition_covers_all_links(self):
+        stack = build_stack()
+        partition = LinkPartition(["link_front", "link_rear"], 6, 10)
+        partition.arm(stack)
+        stack.run(n_frames=16)
+        assert partition.dropped >= 8
+        assert len(partition.injections) == 2
+        assert all(i.kind == "partition" for i in partition.injections)
+        assert Outcome.MISS in monitor_outcomes(stack, "s0_front", 6, 11)
+        assert Outcome.MISS in monitor_outcomes(stack, "s0_rear", 6, 11)
+
+
+class TestClockFaults:
+    def test_clock_drift_restores_rate_and_bounds_error(self):
+        stack = build_stack()
+        ecu1 = next(e for e in stack.ecus if e.name == "ecu1")
+        original = ecu1.clock.drift_ppm
+        drift = ClockDrift("ecu1", 4, 10, 15000.0)
+        drift.arm(stack)
+        assert drift.clock_error_bound() > stack.ptp.residual_error
+        stack.run(n_frames=16)
+        assert ecu1.clock.drift_ppm == original
+
+    def test_clock_drift_never_steps_reading_backwards(self):
+        """The rebase rule: changing the rate must not step the clock."""
+        stack = build_stack()
+        ecu1 = next(e for e in stack.ecus if e.name == "ecu1")
+        readings = []
+        period = stack.config.period
+
+        def sample():
+            readings.append(ecu1.now())
+            if stack.sim.now < 14 * period:
+                stack.sim.schedule_at(stack.sim.now + period // 4, sample)
+
+        stack.sim.schedule_at(0, sample)
+        ClockDrift("ecu1", 4, 10, -15000.0).arm(stack)
+        stack.run(n_frames=16)
+        assert readings == sorted(readings)
+
+    def test_clock_step_moves_offset(self):
+        stack = build_stack()
+        step = ClockStep("ecu2", 4, msec(20))
+        assert step.clock_error_bound() == msec(20)
+        step.arm(stack)
+        ecu2 = next(e for e in stack.ecus if e.name == "ecu2")
+        offsets = {}
+        period = stack.config.period
+        stack.sim.schedule_at(
+            3 * period, lambda: offsets.setdefault("before", ecu2.clock.offset)
+        )
+        stack.sim.schedule_at(
+            4 * period + 1,
+            lambda: offsets.setdefault("after", ecu2.clock.offset),
+        )
+        stack.run(n_frames=6)
+        assert offsets["after"] - offsets["before"] == pytest.approx(
+            msec(20), abs=msec(1)
+        )
+
+    def test_ptp_holdover_stops_and_resumes_sync(self):
+        stack = build_stack()
+        holdover = PtpHoldover(4, 14)
+        holdover.arm(stack)
+        assert holdover.clock_error_bound() >= stack.ptp.residual_error
+        period = stack.config.period
+        rounds = {}
+        stack.sim.schedule_at(
+            4 * period + 1, lambda: rounds.setdefault("at_start", stack.ptp.rounds)
+        )
+        stack.sim.schedule_at(
+            15 * period - 1, lambda: rounds.setdefault("at_end", stack.ptp.rounds)
+        )
+        stack.run(n_frames=30)
+        assert rounds["at_end"] == rounds["at_start"]  # no rounds in holdover
+        assert stack.ptp.rounds > rounds["at_end"]  # sync resumed after
+
+
+class TestComputeAndSensorFaults:
+    def test_executor_stall_delays_s3(self):
+        stack = build_stack()
+        ExecutorStall("classifier", 6, msec(300)).arm(stack)
+        stack.run(n_frames=16)
+        local = stack.local_runtimes["s3_objects"]
+        affected = [
+            o for n, _lat, o in local.latencies
+            if 6 <= n <= 10 and o is not Outcome.OK
+        ]
+        assert affected, "a 300 ms stall must blow the 100 ms s3 budget"
+
+    def test_silent_sensor_suppresses_publications(self):
+        stack = build_stack()
+        truth = GroundTruthRecorder(stack)
+        silent = SilentSensor("front", 6, 12)
+        silent.arm(stack)
+        stack.run(n_frames=18)
+        assert silent.suppressed == list(range(6, 13))
+        for n in range(6, 13):
+            assert truth.segment_start("s0_front", n) is None
+        assert truth.segment_start("s0_front", 5) is not None
+        assert truth.segment_start("s0_front", 13) is not None
+
+    def test_stuck_sensor_publishes_stale_frames(self):
+        stack = build_stack()
+        truth = GroundTruthRecorder(stack)
+        stuck = StuckSensor("rear", 6, 12)
+        stuck.arm(stack)
+        stack.run(n_frames=18)
+        assert stuck.held_frames == list(range(6, 13))
+        # Stale republications carry the held frame's old index, so no
+        # fresh activation starts in the window...
+        for n in range(7, 13):
+            assert truth.segment_start("s0_rear", n) is None
+        # ...and the monitor times out just like silence.
+        assert Outcome.MISS in monitor_outcomes(stack, "s0_rear", 7, 13)

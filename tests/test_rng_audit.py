@@ -1,0 +1,50 @@
+"""Source audit: no stochastic model may use numpy's global RNG.
+
+Determinism of the simulation (and of the fault campaign built on it)
+requires every random draw to come from an explicitly seeded generator
+-- the simulator's named streams or an ``np.random.Generator`` passed
+in.  Calls through the global ``np.random.*`` functions (``seed``,
+``normal``, ``rand``, ...) share hidden mutable state across the whole
+process and silently break run-to-run reproducibility, so this test
+bans them from ``src/``.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src"
+
+#: np.random.<something> that is NOT one of the explicit-generator APIs.
+FORBIDDEN = re.compile(
+    r"\bnp\.random\.(?!default_rng\b|Generator\b|SeedSequence\b)\w+"
+)
+
+
+def test_no_global_numpy_rng_in_src():
+    offenders = []
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("#", 1)[0]
+            match = FORBIDDEN.search(code)
+            if match:
+                offenders.append(
+                    f"{path.relative_to(SRC)}:{lineno}: {match.group(0)}"
+                )
+    assert not offenders, (
+        "global numpy RNG usage found (use sim.rng(stream) or a passed "
+        "np.random.Generator):\n" + "\n".join(offenders)
+    )
+
+
+def test_no_stdlib_random_module_in_src():
+    """The stdlib ``random`` module is the same trap."""
+    offenders = []
+    pattern = re.compile(r"^\s*(import random\b|from random import)")
+    for path in sorted(SRC.rglob("*.py")):
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            if pattern.search(line):
+                offenders.append(f"{path.relative_to(SRC)}:{lineno}")
+    assert not offenders, (
+        "stdlib random imported in src (use seeded generators):\n"
+        + "\n".join(offenders)
+    )
