@@ -1,0 +1,109 @@
+"""``python -m repro bench`` -- run benchmark suites, compare baselines.
+
+Examples
+--------
+Run everything and write ``BENCH_kernel.json`` / ``BENCH_e2e.json``::
+
+    python -m repro bench --suite all --out .
+
+Regression-check the kernel suite against a committed baseline (exits
+non-zero when any benchmark got more than ``--threshold`` slower)::
+
+    python -m repro bench --suite kernel --quick --compare BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.bench.harness import (
+    DEFAULT_THRESHOLD,
+    compare_suites,
+    load_suite,
+    render_suite,
+    suite_to_json,
+    write_suite,
+)
+from repro.bench.suites import SUITES, run_suite
+
+
+def bench_file_name(suite: str) -> str:
+    """Canonical file name for a suite (``BENCH_kernel.json``...)."""
+    return f"BENCH_{suite}.json"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Micro/e2e benchmarks with JSON baselines and "
+        "regression comparison.",
+    )
+    parser.add_argument(
+        "--suite",
+        choices=sorted(SUITES) + ["all"],
+        default="all",
+        help="which suite to run (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="single iteration, no warmup (CI smoke mode)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="write BENCH_<suite>.json files into DIR",
+    )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        metavar="BASELINE",
+        help="baseline BENCH_*.json (or a directory holding them); "
+        "exit 1 on regression",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed median slowdown fraction for --compare "
+        f"(default: {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    failed = False
+    for suite in suites:
+        results = run_suite(suite, quick=args.quick)
+        print(f"==> {suite}")
+        print(render_suite(results))
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            path = write_suite(args.out / bench_file_name(suite), suite, results)
+            print(f"wrote {path}")
+        if args.compare is not None:
+            baseline_path = args.compare
+            if baseline_path.is_dir():
+                baseline_path = baseline_path / bench_file_name(suite)
+            try:
+                baseline = load_suite(baseline_path)
+            except (OSError, ValueError) as exc:
+                print(f"cannot load baseline {baseline_path}: {exc}")
+                failed = True
+                continue
+            report = compare_suites(
+                suite_to_json(suite, results), baseline, threshold=args.threshold
+            )
+            print(report.render())
+            failed = failed or not report.passed
+        print()
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,285 @@
+"""The benchmark suites: hot-path microbenches + end-to-end layers.
+
+Two suites are defined:
+
+- ``kernel`` (``BENCH_kernel.json``) -- microbenchmarks of the
+  simulation substrate itself: kernel event dispatch, cancellation
+  sweeps, scheduler context switches and preemption, timer re-arming,
+  and a full DDS publish -> executor -> callback round trip.
+- ``e2e`` (``BENCH_e2e.json``) -- per-layer costs of the paper
+  workloads: the perception stack with and without monitoring (their
+  difference is the monitor bookkeeping overhead), the vectorized
+  perception numerics, the budgeting CSP solvers, and one fault-campaign
+  scenario end to end.
+
+Every benchmark is deterministic (fixed seeds) so timings are
+attributable to code changes, not workload drift.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.bench.harness import BenchResult, run_bench
+
+#: name -> (factory kwargs) registries, filled below.
+KERNEL_SUITE = "kernel"
+E2E_SUITE = "e2e"
+
+
+# ----------------------------------------------------------------------
+# kernel suite
+# ----------------------------------------------------------------------
+def bench_kernel_dispatch() -> int:
+    """Schedule-and-fire cost of bare kernel events."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    callback = (lambda: None)
+    for i in range(5000):
+        sim.schedule_at(i, callback)
+    return sim.run()
+
+
+def bench_kernel_cancel_sweep() -> int:
+    """Half the queue cancelled before running (lazy-deletion path)."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    callback = (lambda: None)
+    events = [sim.schedule_at(i, callback) for i in range(5000)]
+    for event in events[::2]:
+        event.cancel()
+    return sim.run() + len(events) // 2
+
+
+def bench_timer_rearm() -> int:
+    """Deadline-QoS style re-arming: every start cancels the last."""
+    from repro.sim import Simulator
+    from repro.sim.timers import Timer
+
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(1))
+    n = 3000
+    for i in range(n):
+        timer.start(100 + i)
+    sim.run()
+    return n
+
+
+def bench_scheduler_pingpong() -> int:
+    """Two threads ping-ponging via semaphores (context switches)."""
+    from repro.sim import MulticoreScheduler, Semaphore, Simulator, WaitSem
+
+    sim = Simulator()
+    sched = MulticoreScheduler(sim, n_cores=1)
+    a_sem = Semaphore(sim, initial=1)
+    b_sem = Semaphore(sim)
+    rounds = 500
+
+    def ping(_):
+        for _i in range(rounds):
+            yield WaitSem(a_sem)
+            b_sem.post()
+
+    def pong(_):
+        for _i in range(rounds):
+            yield WaitSem(b_sem)
+            a_sem.post()
+
+    sched.spawn("ping", ping, priority=2)
+    sched.spawn("pong", pong, priority=1)
+    sim.run()
+    return 2 * rounds
+
+
+def bench_scheduler_preempt() -> int:
+    """A low-priority hog preempted by a periodic high-priority task."""
+    from repro.sim import Compute, MulticoreScheduler, Simulator, Sleep, msec, usec
+
+    sim = Simulator()
+    sched = MulticoreScheduler(sim, n_cores=1)
+    periods = 100
+
+    def hog(_):
+        for _i in range(20):
+            yield Compute(msec(5))
+
+    def periodic(_):
+        for _i in range(periods):
+            yield Sleep(msec(1))
+            yield Compute(usec(100))
+
+    sched.spawn("hog", hog, priority=1)
+    sched.spawn("periodic", periodic, priority=10)
+    sim.run()
+    return periods
+
+
+def bench_dds_local_pubsub() -> int:
+    """Publish -> deliver -> executor -> callback round trips on one ECU."""
+    from repro.dds import DdsDomain, Topic
+    from repro.ros import Node
+    from repro.sim import Ecu, Simulator, usec
+
+    sim = Simulator()
+    ecu = Ecu(sim, "e", n_cores=2)
+    domain = DdsDomain(sim, local_latency=usec(10))
+    talker = Node(domain, ecu, "talker", priority=10)
+    listener = Node(domain, ecu, "listener", priority=9)
+    topic = Topic("t")
+    count: List[int] = []
+    listener.create_subscription(topic, lambda s: count.append(1))
+    pub = talker.create_publisher(topic)
+    n = 300
+    for i in range(n):
+        sim.schedule_at(i * usec(50), pub.publish, i)
+    sim.run()
+    assert len(count) == n
+    return n
+
+
+# ----------------------------------------------------------------------
+# e2e suite
+# ----------------------------------------------------------------------
+_E2E_FRAMES = 10
+
+
+def _run_stack(monitoring: bool) -> int:
+    from repro.perception import PerceptionStack, StackConfig
+
+    stack = PerceptionStack(
+        StackConfig(seed=3, monitoring=monitoring, trace_prefixes=())
+    )
+    stack.run(n_frames=_E2E_FRAMES)
+    return _E2E_FRAMES
+
+
+def bench_stack_monitored() -> int:
+    """Full two-ECU perception stack, monitors on (per-frame cost)."""
+    return _run_stack(True)
+
+
+def bench_stack_unmonitored() -> int:
+    """Same stack without monitors (their difference = bookkeeping)."""
+    return _run_stack(False)
+
+
+def _synthetic_cloud(n_points: int = 4000) -> np.ndarray:
+    rng = np.random.default_rng(7)
+    ground = rng.uniform([-40, -40, -1.9], [40, 40, -1.7], size=(n_points // 2, 3))
+    objects = rng.uniform([-20, -20, -1.5], [20, 20, 1.5], size=(n_points // 2, 3))
+    return np.vstack([ground, objects]).astype(np.float32)
+
+
+def bench_perception_numerics() -> int:
+    """Ground classification + euclidean clustering on a synthetic cloud."""
+    from repro.perception.clustering import boxes_from_clusters, euclidean_clusters
+    from repro.perception.ground_filter import classify_ground
+    from repro.perception.pointcloud import PointCloud
+
+    xyz = _synthetic_cloud()
+    points = np.concatenate([xyz, np.zeros((len(xyz), 1), np.float32)], axis=1)
+    cloud = PointCloud(points=points, frame_index=0, stamp=0)
+    mask = classify_ground(cloud)
+    nonground = cloud.select(~mask)
+    clusters = euclidean_clusters(nonground.xyz)
+    boxes_from_clusters(nonground.xyz, clusters)
+    return len(cloud)
+
+
+def _budgeting_problem():
+    from repro.budgeting import BudgetingProblem, ChainTrace, SegmentTrace
+    from repro.core import EventChain, MKConstraint
+    from repro.core.segments import local_segment, remote_segment
+
+    rng = np.random.default_rng(11)
+    n_segments, n_activations = 4, 400
+    segments = []
+    for i in range(n_segments):
+        if i % 2 == 0:
+            seg = remote_segment(f"s{i}", f"t{i}", "ecuA", "ecuB")
+        else:
+            seg = local_segment(f"s{i}", "ecuB", f"t{i-1}", f"t{i}")
+        segments.append(seg)
+    for earlier, later in zip(segments, segments[1:]):
+        later.start = earlier.end
+    chain = EventChain(
+        name="bench", segments=segments, period=100, budget_e2e=260,
+        budget_seg=100, mk=MKConstraint(2, 8),
+    )
+    trace = ChainTrace("bench")
+    for seg in segments:
+        base = rng.integers(20, 60)
+        lats = np.clip(
+            rng.lognormal(np.log(base), 0.4, size=n_activations), 5, 400
+        ).astype(int)
+        trace.add(SegmentTrace(seg.name, [int(v) for v in lats]))
+    return BudgetingProblem(chain, trace)
+
+
+def bench_budgeting_solve() -> int:
+    """Independent + greedy + branch-and-bound solves of one instance."""
+    from repro.budgeting import (
+        solve_branch_and_bound,
+        solve_greedy_propagated,
+        solve_independent,
+    )
+
+    problem = _budgeting_problem()
+    solve_independent(problem)
+    solve_greedy_propagated(problem)
+    solve_branch_and_bound(problem)
+    return 3
+
+
+def bench_fault_scenario() -> int:
+    """One loss-burst campaign scenario end to end (both oracles)."""
+    from repro.faults.campaign import CampaignConfig, FaultCampaign, default_scenarios
+
+    frames = 24
+    scenario = next(s for s in default_scenarios() if s.name == "loss_burst")
+    campaign = FaultCampaign([scenario], CampaignConfig(n_frames=frames))
+    result = campaign.run()
+    assert result.scenarios, "scenario did not run"
+    return frames
+
+
+#: suite name -> ordered list of (bench name, layer, unit, fn).
+SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
+    KERNEL_SUITE: [
+        ("kernel_dispatch", "kernel", "events", bench_kernel_dispatch),
+        ("kernel_cancel_sweep", "kernel", "events", bench_kernel_cancel_sweep),
+        ("timer_rearm", "kernel", "arms", bench_timer_rearm),
+        ("scheduler_pingpong", "scheduler", "switches", bench_scheduler_pingpong),
+        ("scheduler_preempt", "scheduler", "periods", bench_scheduler_preempt),
+        ("dds_local_pubsub", "dds", "roundtrips", bench_dds_local_pubsub),
+    ],
+    E2E_SUITE: [
+        ("stack_monitored", "e2e", "frames", bench_stack_monitored),
+        ("stack_unmonitored", "e2e", "frames", bench_stack_unmonitored),
+        ("perception_numerics", "perception", "points", bench_perception_numerics),
+        ("budgeting_solve", "budgeting", "solves", bench_budgeting_solve),
+        ("fault_scenario", "faults", "frames", bench_fault_scenario),
+    ],
+}
+
+
+def run_suite(suite: str, quick: bool = False) -> List[BenchResult]:
+    """Run every benchmark of *suite*; quick mode = 1 iteration, no warmup."""
+    if suite not in SUITES:
+        raise ValueError(f"unknown suite {suite!r} (have {sorted(SUITES)})")
+    iterations = 1 if quick else 7
+    warmup = 0 if quick else 1
+    results = []
+    for name, layer, unit, fn in SUITES[suite]:
+        results.append(
+            run_bench(
+                name, fn, layer=layer, unit=unit,
+                iterations=iterations, warmup=warmup,
+            )
+        )
+    return results

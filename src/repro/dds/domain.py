@@ -47,6 +47,10 @@ class DdsDomain:
         self.sim = sim
         self.local_latency = int(local_latency)
         self.local_jitter = local_jitter or JitterModel()
+        #: The "dds:local" stream generator, bound on first local delivery
+        #: (avoids one dict lookup per sample on the loopback hot path).
+        self._local_rng = None
+        self._local_labels: Dict[str, str] = {}
         self.participants: List["DomainParticipant"] = []
         self._writers: Dict[str, List["DataWriter"]] = {}
         self._readers: Dict[str, List["DataReader"]] = {}
@@ -170,15 +174,15 @@ class DdsDomain:
             link.transmit(frame, lambda f, p=port: stack.deliver(p, f))
 
     def _deliver_local(self, reader: "DataReader", sample: Sample) -> None:
-        delay = self.local_latency + self.local_jitter.sample(
-            self.sim.rng("dds:local")
-        )
-        self.sim.schedule_after(
-            delay,
-            reader._receive,
-            sample,
-            label=f"dds:local:{sample.topic.name}",
-        )
+        rng = self._local_rng
+        if rng is None:
+            rng = self._local_rng = self.sim.rng("dds:local")
+        delay = self.local_latency + self.local_jitter.sample(rng)
+        topic_name = sample.topic.name
+        label = self._local_labels.get(topic_name)
+        if label is None:
+            label = self._local_labels[topic_name] = f"dds:local:{topic_name}"
+        self.sim.schedule_after(delay, reader._receive, sample, label=label)
 
     def _deliver_remote(
         self,

@@ -13,7 +13,6 @@ times must instead forward timeouts to the high-priority monitor thread
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Any, Callable, Deque, Optional, Tuple, TYPE_CHECKING
 
@@ -28,9 +27,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.dds.reader import DataReader, ReaderListener
     from repro.dds.topic import Topic
     from repro.dds.writer import DataWriter
-
-_participant_ids = itertools.count(1)
-
 
 class DomainParticipant:
     """A process-level attachment point to the DDS domain.
@@ -61,7 +57,7 @@ class DomainParticipant:
         self.ecu = ecu
         self.sim = ecu.sim
         self.name = name
-        self.guid = f"{ecu.name}/{name}#{next(_participant_ids)}"
+        self.guid = f"{ecu.name}/{name}#{self.sim.next_entity_id('participant')}"
         self.event_entry_cost = int(event_entry_cost)
         self._event_queue: Deque[Tuple[Callable[..., None], tuple]] = deque()
         self._event_sem = Semaphore(self.sim, name=f"{self.guid}.evt")

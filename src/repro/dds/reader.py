@@ -17,7 +17,6 @@ scheduling-dependent quantity of the paper's Fig. 12.
 
 from __future__ import annotations
 
-import itertools
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, TYPE_CHECKING
 
@@ -27,8 +26,6 @@ from repro.sim.timers import Timer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dds.participant import DomainParticipant
-
-_reader_ids = itertools.count(1)
 
 ReceiveHook = Callable[[Sample], None]
 ReceiveFilter = Callable[[Sample], bool]
@@ -68,7 +65,7 @@ class DataReader:
         self.topic = topic
         self.qos = qos or DEFAULT_QOS
         self.listener = listener or ReaderListener()
-        self.guid = f"{participant.guid}/r{next(_reader_ids)}"
+        self.guid = f"{participant.guid}/r{participant.sim.next_entity_id('reader')}"
         #: Return False to discard the sample before delivery.
         self.receive_filters: List[ReceiveFilter] = []
         #: Called for every accepted sample, before the listener.
@@ -93,12 +90,13 @@ class DataReader:
             age = now_local - sample.source_timestamp
             if age > self.qos.lifespan:
                 self.lifespan_expired += 1
-                sim.emit_trace(
-                    "dds.lifespan_expired",
-                    topic=self.topic.name,
-                    reader=self.guid,
-                    seq=sample.sequence_number,
-                )
+                if sim._trace_hooks:
+                    sim.emit_trace(
+                        "dds.lifespan_expired",
+                        topic=self.topic.name,
+                        reader=self.guid,
+                        seq=sample.sequence_number,
+                    )
                 self.listener.on_sample_lifespan_expired(self, sample)
                 return
         if self.qos.deadline is not None:
@@ -110,21 +108,23 @@ class DataReader:
         for receive_filter in self.receive_filters:
             if not receive_filter(sample):
                 self.filtered += 1
-                sim.emit_trace(
-                    "dds.receive_filtered",
-                    topic=self.topic.name,
-                    reader=self.guid,
-                    seq=sample.sequence_number,
-                )
+                if sim._trace_hooks:
+                    sim.emit_trace(
+                        "dds.receive_filtered",
+                        topic=self.topic.name,
+                        reader=self.guid,
+                        seq=sample.sequence_number,
+                    )
                 return
         self.received += 1
-        sim.emit_trace(
-            "dds.receive",
-            topic=self.topic.name,
-            reader=self.guid,
-            seq=sample.sequence_number,
-            ts=sample.source_timestamp,
-        )
+        if sim._trace_hooks:
+            sim.emit_trace(
+                "dds.receive",
+                topic=self.topic.name,
+                reader=self.guid,
+                seq=sample.sequence_number,
+                ts=sample.source_timestamp,
+            )
         self._store(sample)
         for hook in self.on_receive_hooks:
             hook(sample)

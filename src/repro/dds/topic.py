@@ -10,7 +10,6 @@ PTP-synchronized to within epsilon).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 
@@ -65,29 +64,64 @@ class Topic:
         return f"<Topic {self.name} [{self.type_name}]>"
 
 
-_sample_ids = itertools.count(1)
+_next_sample_id = itertools.count(1).__next__
 
 
-@dataclass
 class Sample:
-    """One published datum travelling writer -> reader(s)."""
+    """One published datum travelling writer -> reader(s).
 
-    topic: Topic
-    data: Any
-    #: Writer-local clock value at publication (the DDS source timestamp).
-    source_timestamp: int
-    #: Per-writer monotonically increasing sequence number (activation n).
-    sequence_number: int
-    #: Identifier of the publishing writer (for keyed differentiation).
-    writer_id: str = ""
-    #: Instance key for keyed topics (None for unkeyed).
-    key: Optional[str] = None
-    #: Marks data substituted by a recovery handler rather than published.
-    recovered: bool = False
-    #: Unique id (diagnostics).
-    uid: int = field(default_factory=lambda: next(_sample_ids))
+    A ``__slots__`` record rather than a dataclass: one instance is
+    allocated per publication per matched reader path, which makes
+    construction cost part of the DDS hot path.
+    """
+
+    __slots__ = (
+        "topic",
+        "data",
+        "source_timestamp",
+        "sequence_number",
+        "writer_id",
+        "key",
+        "recovered",
+        "uid",
+    )
+
+    def __init__(
+        self,
+        topic: Topic,
+        data: Any,
+        source_timestamp: int,
+        sequence_number: int,
+        writer_id: str = "",
+        key: Optional[str] = None,
+        recovered: bool = False,
+        uid: Optional[int] = None,
+    ):
+        self.topic = topic
+        self.data = data
+        #: Writer-local clock value at publication (the DDS source timestamp).
+        self.source_timestamp = source_timestamp
+        #: Per-writer monotonically increasing sequence number (activation n).
+        self.sequence_number = sequence_number
+        #: Identifier of the publishing writer (for keyed differentiation).
+        self.writer_id = writer_id
+        #: Instance key for keyed topics (None for unkeyed).
+        self.key = key
+        #: Marks data substituted by a recovery handler rather than published.
+        self.recovered = recovered
+        #: Unique id (diagnostics).
+        self.uid = uid if uid is not None else _next_sample_id()
 
     @property
     def size_bytes(self) -> int:
         """Serialized size (topic-defined)."""
         return self.topic.serialized_size(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Sample(topic={self.topic!r}, data={self.data!r}, "
+            f"source_timestamp={self.source_timestamp!r}, "
+            f"sequence_number={self.sequence_number!r}, "
+            f"writer_id={self.writer_id!r}, key={self.key!r}, "
+            f"recovered={self.recovered!r}, uid={self.uid!r})"
+        )

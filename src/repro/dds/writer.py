@@ -22,8 +22,6 @@ from repro.dds.topic import Sample, Topic
 if TYPE_CHECKING:  # pragma: no cover
     from repro.dds.participant import DomainParticipant
 
-_writer_ids = itertools.count(1)
-
 PublishHook = Callable[[Sample], None]
 PublishFilter = Callable[[Sample], bool]
 
@@ -41,7 +39,9 @@ class DataWriter:
         self.participant = participant
         self.topic = topic
         self.qos = qos or DEFAULT_QOS
-        self.guid = writer_id or f"{participant.guid}/w{next(_writer_ids)}"
+        self.guid = writer_id or (
+            f"{participant.guid}/w{participant.sim.next_entity_id('writer')}"
+        )
         self._seq = itertools.count()
         #: Return False to suppress the publication (monitor skip logic).
         self.publish_filters: List[PublishFilter] = []
@@ -64,6 +64,7 @@ class DataWriter:
         """
         if source_timestamp is None:
             source_timestamp = self.participant.ecu.now()
+        sim = self.participant.sim
         sample = Sample(
             topic=self.topic,
             data=data,
@@ -76,21 +77,23 @@ class DataWriter:
         for publish_filter in self.publish_filters:
             if not publish_filter(sample):
                 self.suppressed += 1
-                self.participant.sim.emit_trace(
-                    "dds.publish_suppressed",
-                    topic=self.topic.name,
-                    writer=self.guid,
-                    seq=sample.sequence_number,
-                )
+                if sim._trace_hooks:
+                    sim.emit_trace(
+                        "dds.publish_suppressed",
+                        topic=self.topic.name,
+                        writer=self.guid,
+                        seq=sample.sequence_number,
+                    )
                 return None
         self.published += 1
-        self.participant.sim.emit_trace(
-            "dds.publish",
-            topic=self.topic.name,
-            writer=self.guid,
-            seq=sample.sequence_number,
-            ts=sample.source_timestamp,
-        )
+        if sim._trace_hooks:
+            sim.emit_trace(
+                "dds.publish",
+                topic=self.topic.name,
+                writer=self.guid,
+                seq=sample.sequence_number,
+                ts=sample.source_timestamp,
+            )
         for hook in self.on_publish_hooks:
             hook(sample)
         self.participant.domain._route(self, sample)

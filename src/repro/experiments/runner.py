@@ -132,17 +132,41 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "bench":
+        from repro.bench.cli import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's figures.",
+        description="Regenerate the paper's figures "
+        "('bench' runs the benchmark suites instead).",
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which figure to regenerate ('all' runs every one)",
+        choices=sorted(EXPERIMENTS) + ["all", "bench"],
+        help="which figure to regenerate ('all' runs every one, "
+        "'bench' runs the benchmark suites)",
+    )
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run experiments in N worker processes (default: 1, serial)",
     )
     args = parser.parse_args(argv)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    if args.jobs > 1 and len(names) > 1:
+        from repro.experiments.parallel import run_experiments_parallel
+
+        for name, output in run_experiments_parallel(names, jobs=args.jobs):
+            print(f"==> {name}")
+            print(output)
+            print()
+        return 0
     for name in names:
         print(f"==> {name}")
         print(EXPERIMENTS[name]())

@@ -119,6 +119,8 @@ class Link:
         self.stats = LinkStats()
         self._seq = itertools.count()
         self._last_delivery = 0
+        self._rng = None
+        self._deliver_label = f"link:{name}:deliver"
         #: Optional hook called as ``fn(frame)`` when a frame is lost.
         self.on_loss: Optional[Callable[[Frame], None]] = None
         #: Optional targeted-loss predicate for fault injection: return
@@ -135,16 +137,19 @@ class Link:
         Returns ``False`` if the frame was lost (deliver is then never
         called; the loss hook fires instead).
         """
-        rng = self.sim.rng(f"link:{self.name}")
+        rng = self._rng
+        if rng is None:
+            rng = self._rng = self.sim.rng(f"link:{self.name}")
         frame.seq = next(self._seq)
         self.stats.sent += 1
         self.stats.bytes_sent += frame.size_bytes
         forced_loss = self.loss_filter is not None and self.loss_filter(frame)
         if forced_loss or (self.loss_prob > 0 and rng.random() < self.loss_prob):
             self.stats.lost += 1
-            self.sim.emit_trace(
-                "link.loss", link=self.name, seq=frame.seq, dst=frame.dst
-            )
+            if self.sim._trace_hooks:
+                self.sim.emit_trace(
+                    "link.loss", link=self.name, seq=frame.seq, dst=frame.dst
+                )
             if self.on_loss is not None:
                 self.on_loss(frame)
             return False
@@ -163,15 +168,16 @@ class Link:
             self._deliver,
             frame,
             deliver,
-            label=f"link:{self.name}:deliver",
+            label=self._deliver_label,
         )
         return True
 
     def _deliver(self, frame: Frame, deliver: Callable[[Frame], None]) -> None:
         self.stats.delivered += 1
-        self.sim.emit_trace(
-            "link.deliver", link=self.name, seq=frame.seq, dst=frame.dst
-        )
+        if self.sim._trace_hooks:
+            self.sim.emit_trace(
+                "link.deliver", link=self.name, seq=frame.seq, dst=frame.dst
+            )
         deliver(frame)
 
     def __repr__(self) -> str:  # pragma: no cover

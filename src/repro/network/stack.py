@@ -91,13 +91,14 @@ class NetworkStack:
                 yield Compute(cost)
             handler = self._ports.get(port)
             self.frames_processed += 1
-            self.sim.emit_trace(
-                "netstack.rx",
-                ecu=self.ecu.name,
-                port=port,
-                seq=frame.seq,
-                handled=handler is not None,
-            )
+            if self.sim._trace_hooks:
+                self.sim.emit_trace(
+                    "netstack.rx",
+                    ecu=self.ecu.name,
+                    port=port,
+                    seq=frame.seq,
+                    handled=handler is not None,
+                )
             if handler is not None:
                 handler(frame)
 

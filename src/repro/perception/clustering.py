@@ -61,9 +61,20 @@ def euclidean_clusters(
     if len(xyz) == 0:
         return []
     cells = np.floor(xyz / eps).astype(np.int64)
-    buckets: Dict[Tuple[int, int, int], List[int]] = {}
-    for i, cell in enumerate(map(tuple, cells)):
-        buckets.setdefault(cell, []).append(i)
+    # Vectorized bucketing: stable lexsort groups points by cell while
+    # keeping ascending point order inside each bucket -- the same
+    # membership and order the per-point setdefault/append loop built.
+    order = np.lexsort((cells[:, 2], cells[:, 1], cells[:, 0]))
+    sorted_cells = cells[order]
+    if len(order) > 1:
+        change = np.any(sorted_cells[1:] != sorted_cells[:-1], axis=1)
+        starts = np.concatenate(([0], np.nonzero(change)[0] + 1))
+    else:
+        starts = np.array([0])
+    ends = np.concatenate((starts[1:], [len(order)]))
+    buckets: Dict[Tuple[int, int, int], np.ndarray] = {
+        tuple(sorted_cells[s]): order[s:e] for s, e in zip(starts, ends)
+    }
     visited = np.zeros(len(xyz), dtype=bool)
     clusters: List[np.ndarray] = []
     neighbour_offsets = [

@@ -150,6 +150,8 @@ class BurstyGovernor(FrequencyGovernor):
         self.sim.schedule_after(delay, self._begin_excursion, label="governor:burst")
 
     def _begin_excursion(self) -> None:
+        # Same stream name as _schedule_excursion: rng() caches per name,
+        # so both methods draw from one generator in arrival order.
         rng = self.sim.rng(f"{self.rng_stream}:{self.core.index}")
         slow = float(rng.uniform(self.slow_min, self.slow_max))
         dwell = max(1, int(rng.exponential(self.mean_dwell)))

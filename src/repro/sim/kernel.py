@@ -11,15 +11,26 @@ Randomness is drawn from named streams.  Each stream is a
 ``numpy.random.Generator`` seeded from the simulator seed and the stream
 name, so adding a new consumer of randomness never perturbs the draws seen
 by existing consumers (a classic requirement for comparable experiments).
+
+Performance notes
+-----------------
+This module is the hottest path of the repository: every simulated
+microsecond of every experiment flows through :meth:`Simulator.run`.
+Heap entries are therefore plain ``(time, priority, seq, event)`` tuples
+(tuple comparison is C-level and the unique ``seq`` guarantees the event
+object itself is never compared), the heap primitives are pre-bound, and
+trace emission is skipped entirely while no hook is registered.  None of
+this changes observable behavior: the golden-trace suite
+(``tests/test_golden_traces.py``) pins the event order bit-for-bit.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
+import math
 import zlib
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -29,24 +40,38 @@ NS_PER_MS = 1_000_000
 NS_PER_S = 1_000_000_000
 
 
+def _round_half_away(value: float) -> int:
+    """Round to the nearest integer, halves away from zero.
+
+    Python's built-in ``round`` uses banker's rounding (half to even),
+    which maps both ``0.5 -> 0`` and ``-0.5 -> 0``: a duration of half a
+    nanosecond would silently vanish, and negative offsets would round
+    differently from their positive mirrors.  Durations round half away
+    from zero instead, so ``nsec(0.5) == 1`` and ``nsec(-0.5) == -1``.
+    """
+    if value >= 0:
+        return int(math.floor(value + 0.5))
+    return int(math.ceil(value - 0.5))
+
+
 def nsec(value: float) -> int:
     """Return *value* nanoseconds as an integer duration."""
-    return int(round(value))
+    return _round_half_away(value)
 
 
 def usec(value: float) -> int:
     """Return *value* microseconds as an integer nanosecond duration."""
-    return int(round(value * NS_PER_US))
+    return _round_half_away(value * NS_PER_US)
 
 
 def msec(value: float) -> int:
     """Return *value* milliseconds as an integer nanosecond duration."""
-    return int(round(value * NS_PER_MS))
+    return _round_half_away(value * NS_PER_MS)
 
 
 def sec(value: float) -> int:
     """Return *value* seconds as an integer nanosecond duration."""
-    return int(round(value * NS_PER_S))
+    return _round_half_away(value * NS_PER_S)
 
 
 def fmt_time(t_ns: int) -> str:
@@ -58,14 +83,6 @@ def fmt_time(t_ns: int) -> str:
     if abs(t_ns) >= NS_PER_US:
         return f"{t_ns / NS_PER_US:.3f}us"
     return f"{t_ns}ns"
-
-
-@dataclass(order=True)
-class _HeapEntry:
-    time: int
-    priority: int
-    seq: int
-    event: "ScheduledEvent" = field(compare=False)
 
 
 class ScheduledEvent:
@@ -99,6 +116,11 @@ class ScheduledEvent:
         return f"<ScheduledEvent {self.label or self.callback} @{fmt_time(self.time)} {state}>"
 
 
+#: Heap entry layout: ``(time, priority, seq, event)``.  ``seq`` is unique,
+#: so tuple comparison never reaches the (incomparable) event object.
+_HeapEntry = Tuple[int, int, int, ScheduledEvent]
+
+
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (e.g. scheduling into the past)."""
 
@@ -126,10 +148,26 @@ class Simulator:
         self.seed = seed
         self.now: int = 0
         self._heap: List[_HeapEntry] = []
-        self._seq = itertools.count()
+        self._next_seq = itertools.count().__next__
+        self._entity_ids: Dict[str, int] = {}
         self._rngs: Dict[str, np.random.Generator] = {}
         self._running = False
         self._trace_hooks: List[Callable[[str, int, dict], None]] = []
+
+    # ------------------------------------------------------------------
+    # Entity identifiers
+    # ------------------------------------------------------------------
+    def next_entity_id(self, kind: str) -> int:
+        """Mint the next id (1, 2, ...) for *kind* of entity.
+
+        Scoped to this simulator -- not the process -- so entity names
+        (participant guids, writer/reader ids) embedded in traces are
+        identical no matter how many simulations ran before in the same
+        interpreter.  The golden-trace digests rely on this.
+        """
+        value = self._entity_ids.get(kind, 0) + 1
+        self._entity_ids[kind] = value
+        return value
 
     # ------------------------------------------------------------------
     # Random streams
@@ -170,9 +208,7 @@ class Simulator:
                 f"now is {fmt_time(self.now)}"
             )
         event = ScheduledEvent(callback, args, time, label=label)
-        heapq.heappush(
-            self._heap, _HeapEntry(time, priority, next(self._seq), event)
-        )
+        heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
         return event
 
     def schedule_after(
@@ -186,27 +222,32 @@ class Simulator:
         """Schedule *callback* to fire *delay* nanoseconds from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(
-            self.now + delay, callback, *args, priority=priority, label=label
-        )
+        time = self.now + delay
+        event = ScheduledEvent(callback, args, time, label=label)
+        heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
+        return event
 
     def call_now(
         self, callback: Callable[..., None], *args: Any, label: str = ""
     ) -> ScheduledEvent:
         """Schedule *callback* at the current instant (after current event)."""
-        return self.schedule_at(self.now, callback, *args, label=label)
+        event = ScheduledEvent(callback, args, self.now, label=label)
+        heapq.heappush(self._heap, (self.now, 0, self._next_seq(), event))
+        return event
 
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Return False when queue is empty."""
-        while self._heap:
-            entry = heapq.heappop(self._heap)
-            if entry.event.cancelled:
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            _time, _prio, _seq, event = heappop(heap)
+            if event.cancelled:
                 continue
-            self.now = entry.time
-            entry.event.callback(*entry.event.args)
+            self.now = event.time
+            event.callback(*event.args)
             return True
         return False
 
@@ -229,17 +270,29 @@ class Simulator:
             The number of events that fired.
         """
         count = 0
-        while self._heap:
-            entry = self._heap[0]
-            if entry.event.cancelled:
-                heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        if until is None and max_events is None:
+            # Fast path: the overwhelmingly common full-drain loop.
+            while heap:
+                time, _prio, _seq, event = heappop(heap)
+                if event.cancelled:
+                    continue
+                self.now = time
+                event.callback(*event.args)
+                count += 1
+            return count
+        while heap:
+            entry = heap[0]
+            if entry[3].cancelled:
+                heappop(heap)
                 continue
-            if until is not None and entry.time > until:
+            if until is not None and entry[0] > until:
                 self.now = until
                 break
-            heapq.heappop(self._heap)
-            self.now = entry.time
-            entry.event.callback(*entry.event.args)
+            heappop(heap)
+            self.now = entry[0]
+            entry[3].callback(*entry[3].args)
             count += 1
             if max_events is not None and count >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
@@ -250,7 +303,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
-        return sum(1 for e in self._heap if not e.event.cancelled)
+        return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     # ------------------------------------------------------------------
     # Tracing hooks (used by repro.tracing)
@@ -258,6 +311,15 @@ class Simulator:
     def add_trace_hook(self, hook: Callable[[str, int, dict], None]) -> None:
         """Register *hook(name, time_ns, fields)* for kernel trace points."""
         self._trace_hooks.append(hook)
+
+    @property
+    def tracing_active(self) -> bool:
+        """True when at least one trace hook is registered.
+
+        Hot emitters check this before building their field dicts, so
+        untraced runs (microbenchmarks, workers) skip the cost entirely.
+        """
+        return bool(self._trace_hooks)
 
     def emit_trace(self, name: str, **fields: Any) -> None:
         """Deliver a trace point to all registered hooks."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 import math
+from operator import attrgetter
 from typing import Callable, List, Optional, TYPE_CHECKING
 
 from repro.sim.kernel import ScheduledEvent, Simulator
@@ -215,13 +216,17 @@ class MulticoreScheduler:
             return [self.cores[thread.affinity]]
         return self.cores
 
+    _priority_key = attrgetter("priority")
+
     def _schedule_pass(self) -> None:
         while True:
             if not self._ready:
                 return
             # Deterministic order: priority desc; stable sort keeps FIFO
             # order among equal priorities (SCHED_FIFO semantics).
-            self._ready.sort(key=lambda t: -t.priority)
+            # (reverse=True preserves the relative order of equal keys.)
+            if len(self._ready) > 1:
+                self._ready.sort(key=self._priority_key, reverse=True)
             dispatched = False
             for thread in list(self._ready):
                 eligible = self._eligible_cores(thread)

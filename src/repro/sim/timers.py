@@ -26,6 +26,7 @@ class Timer:
         self.sim = sim
         self.callback = callback
         self.name = name
+        self._label = f"timer:{name}"
         self._event: Optional[ScheduledEvent] = None
         self.fired_count = 0
 
@@ -48,9 +49,7 @@ class Timer:
     def start_at(self, time: int) -> None:
         """Arm the timer to fire at absolute *time* (re-arms if pending)."""
         self.cancel()
-        self._event = self.sim.schedule_at(
-            time, self._fire, label=f"timer:{self.name}"
-        )
+        self._event = self.sim.schedule_at(time, self._fire, label=self._label)
 
     def cancel(self) -> None:
         """Disarm the timer if pending."""
@@ -91,6 +90,7 @@ class PeriodicTimer:
         self.period = period
         self.callback = callback
         self.name = name
+        self._label = f"ptimer:{name}"
         self.offset = offset
         self.jitter_ns = jitter_ns
         self._rng_stream = rng_stream or f"ptimer:{name}"
@@ -125,9 +125,7 @@ class PeriodicTimer:
             rng = self.sim.rng(self._rng_stream)
             when = nominal + int(rng.integers(0, self.jitter_ns + 1))
         when = max(when, self.sim.now)
-        self._event = self.sim.schedule_at(
-            when, self._fire, label=f"ptimer:{self.name}:{self._index}"
-        )
+        self._event = self.sim.schedule_at(when, self._fire, label=self._label)
 
     def _fire(self) -> None:
         index = self._index

@@ -1,0 +1,183 @@
+"""Property tests of the budgeting CSP solvers (paper Eqs. 3-7).
+
+Hypothesis generates small random instances; for every schedulable
+solver outcome we assert
+
+* the returned deadline vector satisfies Eqs. (3)-(5) -- which embed
+  the windowed miss counts of Eqs. (6)-(7) via
+  :func:`~repro.budgeting.windows.propagated_window_misses`; and
+* **minimality**: no component-wise ("uniformly") smaller feasible
+  vector exists, checked by brute force over the candidate lattice.
+
+Instances are kept tiny (<= 3 segments, <= 12 activations, few distinct
+latencies) so the brute-force oracle stays exact and fast.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.budgeting import (
+    BudgetingProblem,
+    ChainTrace,
+    SegmentTrace,
+    solve_branch_and_bound,
+    solve_greedy_propagated,
+    solve_independent,
+)
+from repro.core import EventChain, MKConstraint
+from repro.core.segments import local_segment, remote_segment
+
+
+def make_problem(latencies_by_segment, m, k, budget_e2e, budget_seg,
+                 propagation=None):
+    segments = []
+    for i in range(len(latencies_by_segment)):
+        if i % 2 == 0:
+            seg = remote_segment(f"s{i}", f"t{i}", "ecuA", "ecuB")
+        else:
+            seg = local_segment(f"s{i}", "ecuB", f"t{i-1}", f"t{i}")
+        segments.append(seg)
+    for earlier, later in zip(segments, segments[1:]):
+        later.start = earlier.end
+    chain = EventChain(
+        name="chain", segments=segments, period=100,
+        budget_e2e=budget_e2e, budget_seg=budget_seg, mk=MKConstraint(m, k),
+    )
+    trace = ChainTrace("chain")
+    for seg, lats in zip(segments, latencies_by_segment):
+        trace.add(SegmentTrace(seg.name, list(lats)))
+    return BudgetingProblem(chain, trace, propagation=propagation)
+
+
+def brute_force_feasible(problem):
+    """All feasible candidate-lattice assignments, exhaustively checked."""
+    candidate_sets = [
+        problem.candidates(i) for i in range(len(problem.order))
+    ]
+    return [
+        list(vector)
+        for vector in itertools.product(*candidate_sets)
+        if problem.check(vector).feasible
+    ]
+
+
+#: Small random instances: 1-3 segments x 6-12 activations, latencies
+#: drawn from a handful of values so the candidate lattice stays tiny.
+@st.composite
+def instances(draw):
+    n_segments = draw(st.integers(min_value=1, max_value=3))
+    n_activations = draw(st.integers(min_value=6, max_value=12))
+    latencies = [
+        draw(st.lists(st.integers(min_value=1, max_value=12),
+                      min_size=n_activations, max_size=n_activations))
+        for _ in range(n_segments)
+    ]
+    k = draw(st.integers(min_value=2, max_value=5))
+    return {
+        "latencies": latencies,
+        "k": k,
+        "m": draw(st.integers(min_value=0, max_value=min(3, k))),
+        "budget_seg": draw(st.integers(min_value=4, max_value=14)),
+        "budget_e2e": draw(st.integers(min_value=8, max_value=40)),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(case=instances())
+def test_solver_outputs_satisfy_constraints(case):
+    """Every schedulable result passes the Eq. (3)-(5) checker."""
+    problem = make_problem(
+        case["latencies"], case["m"], case["k"],
+        case["budget_e2e"], case["budget_seg"],
+    )
+    p0 = make_problem(
+        case["latencies"], case["m"], case["k"],
+        case["budget_e2e"], case["budget_seg"],
+        propagation=[0] * len(case["latencies"]),
+    )
+    for solver, prob in (
+        (solve_independent, p0),
+        (solve_greedy_propagated, problem),
+        (solve_branch_and_bound, problem),
+    ):
+        result = solver(prob)
+        if result.schedulable:
+            report = prob.check(result.deadlines)
+            assert report.feasible, (
+                f"{solver.__name__} returned an infeasible vector "
+                f"{result.deadlines}: {report.violated_constraints}"
+            )
+            assert result.total == sum(result.deadlines)
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=instances())
+def test_no_uniformly_smaller_feasible_vector(case):
+    """Brute force: nothing component-wise below a solver result is feasible."""
+    problem = make_problem(
+        case["latencies"], case["m"], case["k"],
+        case["budget_e2e"], case["budget_seg"],
+    )
+    result = solve_branch_and_bound(problem)
+    feasible = brute_force_feasible(problem)
+    if not result.schedulable:
+        assert feasible == [], (
+            "solver reported unschedulable but brute force found "
+            f"feasible vectors, e.g. {feasible[:3]}"
+        )
+        return
+    assert result.total == min(sum(v) for v in feasible)
+    dominated = [
+        v for v in feasible
+        if v != result.deadlines
+        and all(a <= b for a, b in zip(v, result.deadlines))
+    ]
+    assert dominated == [], (
+        f"{dominated[0]} is uniformly smaller than {result.deadlines} "
+        "yet feasible"
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=instances())
+def test_independent_is_per_segment_minimal(case):
+    """For p = 0 each deadline is individually minimal: lowering any one
+    component to the next smaller candidate breaks Eq. (5)."""
+    propagation = [0] * len(case["latencies"])
+    problem = make_problem(
+        case["latencies"], case["m"], case["k"],
+        case["budget_e2e"], case["budget_seg"], propagation=propagation,
+    )
+    result = solve_independent(problem)
+    if not result.schedulable:
+        return
+    for i in range(len(result.deadlines)):
+        lower = [c for c in problem.candidates(i) if c < result.deadlines[i]]
+        for candidate in lower:
+            trial = list(result.deadlines)
+            trial[i] = candidate
+            report = problem.check(trial)
+            assert any(
+                "Eq.5" in v for v in report.violated_constraints
+            ), (
+                f"segment {i}: deadline {candidate} < "
+                f"{result.deadlines[i]} still satisfies Eq. (5)"
+            )
+
+
+@settings(max_examples=25, deadline=None)
+@given(case=instances())
+def test_greedy_never_beats_exact(case):
+    """The heuristic is sound: when both find solutions, greedy >= exact."""
+    problem = make_problem(
+        case["latencies"], case["m"], case["k"],
+        case["budget_e2e"], case["budget_seg"],
+    )
+    greedy = solve_greedy_propagated(problem)
+    exact = solve_branch_and_bound(problem)
+    if greedy.schedulable:
+        # Greedy feasibility implies the exact search cannot miss it.
+        assert exact.schedulable
+        assert exact.total <= greedy.total

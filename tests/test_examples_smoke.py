@@ -44,6 +44,7 @@ class TestExamples:
             "remote_monitoring_comparison.py",
             "real_ipc_monitor.py",
             "fault_campaign.py",
+            "parallel_campaign.py",
         }
         found = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= found

@@ -1,0 +1,115 @@
+"""Time-unit helpers: rounding semantics and formatting edge cases.
+
+The duration constructors round **half away from zero** -- not Python's
+default banker's rounding, which would map both ``0.5`` and ``-0.5`` to
+``0``: a half-nanosecond duration would silently vanish and negative
+clock offsets would round differently from their positive mirrors.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.kernel import (
+    NS_PER_MS,
+    NS_PER_S,
+    NS_PER_US,
+    fmt_time,
+    msec,
+    nsec,
+    sec,
+    usec,
+)
+
+
+class TestHalfAwayRounding:
+    def test_positive_half_rounds_up(self):
+        assert nsec(0.5) == 1
+        assert nsec(1.5) == 2
+        assert nsec(2.5) == 3  # banker's rounding would give 2
+
+    def test_negative_half_rounds_away_from_zero(self):
+        assert nsec(-0.5) == -1
+        assert nsec(-1.5) == -2
+        assert nsec(-2.5) == -3  # banker's rounding would give -2
+
+    def test_symmetry(self):
+        for value in (0.5, 1.5, 2.5, 3.49, 3.51, 1e6 + 0.5):
+            assert nsec(-value) == -nsec(value)
+
+    def test_sub_half_truncates_toward_zero(self):
+        assert nsec(0.49) == 0
+        assert nsec(-0.49) == 0
+
+    def test_half_nanosecond_at_every_unit(self):
+        # 0.5 ns expressed in each unit must survive as 1 ns.
+        assert nsec(0.5) == 1
+        assert usec(0.0005) == 1
+        assert msec(0.0000005) == 1
+        assert sec(0.0000000005) == 1
+        assert usec(-0.0005) == -1
+        assert msec(-0.0000005) == -1
+        assert sec(-0.0000000005) == -1
+
+    @given(value=st.integers(min_value=-10**9, max_value=10**9))
+    def test_integers_pass_through(self, value):
+        assert nsec(value) == value
+
+    @given(value=st.floats(min_value=-1e6, max_value=1e6,
+                           allow_nan=False, allow_infinity=False))
+    def test_within_half_ns_of_input(self, value):
+        assert abs(nsec(value) - value) <= 0.5
+
+
+class TestUnitConversions:
+    @pytest.mark.parametrize(
+        "fn,factor",
+        [(usec, NS_PER_US), (msec, NS_PER_MS), (sec, NS_PER_S)],
+    )
+    def test_integral_values_scale_exactly(self, fn, factor):
+        for value in (0, 1, 3, 250, -1, -17):
+            assert fn(value) == value * factor
+
+    def test_round_trip_through_smaller_units(self):
+        # 1.5 ms == 1500 us == 1_500_000 ns, whichever constructor is used.
+        assert msec(1.5) == usec(1500) == nsec(1_500_000)
+        assert sec(0.25) == msec(250) == usec(250_000)
+        assert msec(-1.5) == usec(-1500)
+
+    def test_fractional_ns_boundaries(self):
+        assert usec(0.0004) == 0   # 0.4 ns, below the half
+        assert usec(0.0006) == 1   # 0.6 ns, above the half
+        assert msec(0.9999995) == NS_PER_MS  # rounds up to exactly 1 ms
+
+
+class TestFmtTime:
+    def test_unit_selection(self):
+        assert fmt_time(5) == "5ns"
+        assert fmt_time(usec(3)) == "3.000us"
+        assert fmt_time(msec(42)) == "42.000ms"
+        assert fmt_time(sec(2)) == "2.000000s"
+
+    def test_boundaries(self):
+        assert fmt_time(NS_PER_US - 1) == "999ns"
+        assert fmt_time(NS_PER_US) == "1.000us"
+        assert fmt_time(NS_PER_MS) == "1.000ms"
+        assert fmt_time(NS_PER_S) == "1.000000s"
+
+    def test_negative_values_keep_their_unit(self):
+        # abs() picks the unit, so -1 ms renders as ms, not ns.
+        assert fmt_time(-5) == "-5ns"
+        assert fmt_time(-NS_PER_MS) == "-1.000ms"
+        assert fmt_time(-NS_PER_S) == "-1.000000s"
+
+    def test_zero(self):
+        assert fmt_time(0) == "0ns"
+
+    @given(t=st.integers(min_value=-10**12, max_value=10**12))
+    def test_always_renders_with_unit_suffix(self, t):
+        rendered = fmt_time(t)
+        assert rendered.endswith(("ns", "us", "ms", "s"))
+        # The numeric part parses back.
+        for suffix in ("ns", "us", "ms", "s"):
+            if rendered.endswith(suffix):
+                float(rendered[: -len(suffix)])
+                break
