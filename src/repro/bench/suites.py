@@ -248,6 +248,28 @@ def bench_fault_scenario() -> int:
     return frames
 
 
+def bench_telemetry_ingest() -> int:
+    """Fleet record stream through the full ingest -> alert path.
+
+    The stream is pre-materialized so the measured work is the
+    service's (queue, store, alert engine), not the generator's.
+    """
+    from repro.telemetry import (
+        FleetConfig,
+        FleetLoadGenerator,
+        ServiceConfig,
+        TelemetryService,
+    )
+
+    generator = FleetLoadGenerator(FleetConfig(vehicles=4, frames=120))
+    records = generator.materialize()
+    service = TelemetryService(ServiceConfig(store=generator.config.store_config()))
+    service.ingest_many(records)
+    service.drain()
+    assert service.accounting_ok(), "telemetry accounting violated"
+    return len(records)
+
+
 #: suite name -> ordered list of (bench name, layer, unit, fn).
 SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
     KERNEL_SUITE: [
@@ -264,6 +286,7 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
         ("perception_numerics", "perception", "points", bench_perception_numerics),
         ("budgeting_solve", "budgeting", "solves", bench_budgeting_solve),
         ("fault_scenario", "faults", "frames", bench_fault_scenario),
+        ("telemetry_ingest", "telemetry", "records", bench_telemetry_ingest),
     ],
 }
 

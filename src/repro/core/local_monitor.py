@@ -215,6 +215,10 @@ class LocalSegmentRuntime:
         self.end_overhead_samples: List[int] = []
         self.monitor_latency_samples: List[int] = []
         self.reporters: List[ChainRuntime] = []
+        #: Telemetry emission hooks (duck-typed, like ``reporters``; see
+        #: :class:`repro.telemetry.emitter.MonitorTelemetrySink`).  The
+        #: hot path pays one falsy check per event when empty.
+        self.telemetry_sinks: List = []
 
     # ------------------------------------------------------------------
     # Instrumentation attachment
@@ -293,6 +297,13 @@ class LocalSegmentRuntime:
         self._start_count += 1
         for runtime in self.reporters:
             runtime.report(self.segment.name, activation, Outcome.SKIPPED)
+        if self.telemetry_sinks:
+            ts = self.monitor.ecu.now() if self.monitor is not None else 0
+            for sink in self.telemetry_sinks:
+                sink.segment_event(
+                    self.segment.name, activation, Outcome.SKIPPED.value,
+                    None, ts,
+                )
 
     # ------------------------------------------------------------------
     # Monitor-thread-context operations
@@ -325,6 +336,11 @@ class LocalSegmentRuntime:
         self.latencies.append((n, latency, Outcome.OK))
         for runtime in self.reporters:
             runtime.report(self.segment.name, n, Outcome.OK, latency=latency)
+        if self.telemetry_sinks:
+            for sink in self.telemetry_sinks:
+                sink.segment_event(
+                    self.segment.name, n, Outcome.OK.value, latency, end_ts
+                )
 
     def _raise_exception(self, n: int, detected_at: int) -> bool:
         """Run Algorithm 2 for activation *n*; True if recovered."""
@@ -362,6 +378,15 @@ class LocalSegmentRuntime:
                 detection_latency=detected_at - entry.deadline,
             )
             runtime.report_exception(exception)
+        if self.telemetry_sinks:
+            for sink in self.telemetry_sinks:
+                sink.segment_event(
+                    self.segment.name, n, outcome.value, latency, handled_at
+                )
+                sink.exception_event(
+                    self.segment.name, n, detected_at - entry.deadline,
+                    detected_at,
+                )
         monitor.sim.emit_trace(
             "monitor.exception",
             segment=self.segment.name,

@@ -129,25 +129,56 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
     "budgeting": _run_budgeting,
 }
 
+#: One-line description of every subcommand, shown in ``--help`` and
+#: mirrored by the README's CLI table (tests keep the two in sync).
+SUBCOMMANDS: Dict[str, str] = {
+    "all": "run every figure experiment in sequence",
+    "bench": "micro/e2e benchmark suites with baseline comparison",
+    "budgeting": "deadline-budgeting study (independent, greedy, B&B)",
+    "faults": "fault-injection campaign with oracle verdicts",
+    "fig02": "event-sequence run: per-segment latency statistics",
+    "fig03": "error-case walkthrough of one faulty activation",
+    "fig06": "inter-arrival vs synchronized monitoring comparison",
+    "fig09": "segment latency distributions (boxplots)",
+    "fig10": "exception detection latencies by case",
+    "fig11": "instrumentation overhead microbenchmark (real host)",
+    "fig12": "remote timeout entry latencies by context",
+    "telemetry": "fleet telemetry service: ingest load run + alerting",
+}
+
+
+def _subcommand_epilog() -> str:
+    width = max(len(name) for name in SUBCOMMANDS)
+    lines = ["subcommands:"]
+    for name in sorted(SUBCOMMANDS):
+        lines.append(f"  {name:{width}s}  {SUBCOMMANDS[name]}")
+    return "\n".join(lines)
+
 
 def main(argv=None) -> int:
     """Entry point for ``python -m repro``."""
     if argv is None:
         argv = sys.argv[1:]
+    # Subcommands with their own argument parsers route before argparse.
     if argv and argv[0] == "bench":
         from repro.bench.cli import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "telemetry":
+        from repro.telemetry.cli import main as telemetry_main
+
+        return telemetry_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the paper's figures "
-        "('bench' runs the benchmark suites instead).",
+        description="Regenerate the paper's figures ('bench' runs the "
+        "benchmark suites, 'telemetry' the fleet telemetry service).",
+        epilog=_subcommand_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench"],
-        help="which figure to regenerate ('all' runs every one, "
-        "'bench' runs the benchmark suites)",
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "telemetry"],
+        help="which subcommand to run (one-line descriptions below)",
     )
     parser.add_argument(
         "-j",

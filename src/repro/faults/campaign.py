@@ -20,7 +20,7 @@ from __future__ import annotations
 import dataclasses
 import os
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.chain_runtime import Outcome
 from repro.faults.base import FaultInjector
@@ -120,6 +120,11 @@ class ScenarioResult:
     safe_state_entries: int
     watchdog_rearms: int
     epsilon_ns: int
+    #: Alert counts by rule from replaying the finished run through the
+    #: telemetry service (see :mod:`repro.telemetry`).
+    alert_counts: Dict[str, int] = field(default_factory=dict)
+    #: Telemetry records the replay applied.
+    telemetry_records: int = 0
 
     @property
     def passed(self) -> bool:
@@ -147,14 +152,15 @@ class CampaignResult:
         """Human-readable campaign matrix."""
         lines = [
             f"{'scenario':22s} {'classes':28s} {'sound':>7s} "
-            f"{'complete':>9s} {'detect':>6s} {'mode':>9s}"
+            f"{'complete':>9s} {'detect':>6s} {'mode':>9s} {'alerts':>7s}"
         ]
         for s in self.scenarios:
             lines.append(
                 f"{s.name:22s} {','.join(s.fault_classes):28s} "
                 f"{('PASS' if s.soundness.passed else 'FAIL'):>7s} "
                 f"{('PASS' if s.completeness.passed else 'FAIL'):>9s} "
-                f"{s.detections:>6d} {(s.final_mode or '-'):>9s}"
+                f"{s.detections:>6d} {(s.final_mode or '-'):>9s} "
+                f"{sum(s.alert_counts.values()):>7d}"
             )
         covered = sorted(self.fault_classes_covered)
         lines.append(
@@ -318,6 +324,9 @@ class FaultCampaign:
                 if outcome in (Outcome.MISS, Outcome.RECOVERED)
                 and first <= n < last
             )
+        alert_counts, telemetry_records = self._replay_telemetry(
+            stack, scenario.name, cc.n_frames, manager
+        )
         return ScenarioResult(
             name=scenario.name,
             fault_classes=scenario.fault_classes,
@@ -334,7 +343,34 @@ class FaultCampaign:
             safe_state_entries=manager.safe_state_entries if manager else 0,
             watchdog_rearms=len(watchdog.rearms) if watchdog else 0,
             epsilon_ns=epsilon,
+            alert_counts=alert_counts,
+            telemetry_records=telemetry_records,
         )
+
+    @staticmethod
+    def _replay_telemetry(
+        stack, source: str, n_frames: int, manager
+    ) -> Tuple[Dict[str, int], int]:
+        """Replay the finished run through a fresh telemetry service.
+
+        Only data time flows in (synthesized timestamps, recorded
+        latencies), so serial and parallel campaign runs produce
+        identical alert counts.
+        """
+        from repro.telemetry.emitter import (
+            replay_stack_records,
+            stack_store_config,
+        )
+        from repro.telemetry.service import ServiceConfig, TelemetryService
+
+        service = TelemetryService(
+            ServiceConfig(store=stack_store_config(stack))
+        )
+        service.ingest_many(
+            replay_stack_records(stack, source, n_frames, manager=manager)
+        )
+        service.drain()
+        return service.alert_log.counts_by_rule(), service.applied
 
 
 def run_default_campaign(

@@ -1,0 +1,99 @@
+"""Fleet telemetry: ingest monitoring verdicts at scale, alert early.
+
+The paper's monitors detect deadline misses *inside* one
+vehicle/process.  This package is the fleet-side counterpart a safety
+case needs (ROADMAP: "heavy traffic from millions of users"): monitors
+publish flat :mod:`~repro.telemetry.records` through emitter hooks, an
+ingestion :mod:`~repro.telemetry.pipeline` with bounded queues and
+explicit backpressure accounting feeds a sharded
+:mod:`~repro.telemetry.store` of incremental (m,k) automata and
+streaming latency histograms, and a rules-based
+:mod:`~repro.telemetry.alerts` engine raises operator alerts *before*
+constraints are violated.  ``python -m repro telemetry`` drives it all
+with a deterministic multi-vehicle :mod:`~repro.telemetry.loadgen`.
+"""
+
+from repro.telemetry.alerts import (
+    Alert,
+    AlertEngine,
+    AlertLog,
+    AlertPolicy,
+    AlertSeverity,
+    RULE_HEARTBEAT,
+    RULE_LATENCY_BUDGET,
+    RULE_MK_MARGIN,
+    RULE_MK_VIOLATION,
+    RULE_QUEUE_DROPS,
+    RULE_QUEUE_SATURATION,
+    RULE_SEQ_GAP,
+)
+from repro.telemetry.automata import MKAutomaton
+from repro.telemetry.emitter import (
+    MonitorTelemetrySink,
+    TelemetryEmitter,
+    attach_stack,
+    replay_stack_records,
+    stack_chain_map,
+    stack_store_config,
+)
+from repro.telemetry.histogram import StreamingHistogram
+from repro.telemetry.loadgen import (
+    FleetConfig,
+    FleetLoadGenerator,
+    LoadReport,
+    run_load,
+)
+from repro.telemetry.pipeline import IngestQueue
+from repro.telemetry.records import (
+    RecordKind,
+    TelemetryRecord,
+    WIRE_SCHEMA,
+    decode_stream,
+    encode_stream,
+)
+from repro.telemetry.service import ServiceConfig, TelemetryService
+from repro.telemetry.store import (
+    ChainState,
+    ChainStateStore,
+    SourceState,
+    StoreConfig,
+)
+
+__all__ = [
+    "Alert",
+    "AlertEngine",
+    "AlertLog",
+    "AlertPolicy",
+    "AlertSeverity",
+    "ChainState",
+    "ChainStateStore",
+    "FleetConfig",
+    "FleetLoadGenerator",
+    "IngestQueue",
+    "LoadReport",
+    "MKAutomaton",
+    "MonitorTelemetrySink",
+    "RecordKind",
+    "RULE_HEARTBEAT",
+    "RULE_LATENCY_BUDGET",
+    "RULE_MK_MARGIN",
+    "RULE_MK_VIOLATION",
+    "RULE_QUEUE_DROPS",
+    "RULE_QUEUE_SATURATION",
+    "RULE_SEQ_GAP",
+    "ServiceConfig",
+    "SourceState",
+    "StoreConfig",
+    "StreamingHistogram",
+    "TelemetryEmitter",
+    "TelemetryRecord",
+    "TelemetryService",
+    "WIRE_SCHEMA",
+    "attach_stack",
+    "decode_stream",
+    "encode_stream",
+    "replay_stack_records",
+    "run_load",
+    "stack_chain_map",
+    "stack_store_config",
+]

@@ -1,0 +1,136 @@
+"""Incremental (m,k) window automata for the chain-state store.
+
+:class:`~repro.core.weakly_hard.MissWindow` is the reference
+implementation: a deque of the last k outcomes.  At fleet-ingest rates
+that representation is needlessly heavy -- one Python object per
+outcome, O(k) memory per monitored key -- so the store uses this
+bit-packed automaton instead: the window is one integer (bit i set =
+the i-th most recent outcome was a miss), a record is two shifts and a
+mask, and the whole state serializes to four integers.
+
+``tests/test_telemetry_automaton.py`` proves record-for-record
+equivalence against :class:`MissWindow` on random verdict streams
+(hypothesis), which is what licenses the replacement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.core.weakly_hard import MKConstraint
+
+
+class MKAutomaton:
+    """O(1) online (m,k) checker over a bit-packed outcome window.
+
+    Semantically identical to :class:`~repro.core.weakly_hard.MissWindow`:
+    :meth:`record` returns True whenever the window of the last k
+    outcomes holds more than m misses, and every such position counts
+    one violation.
+    """
+
+    __slots__ = (
+        "m", "k", "_state", "_mask", "_out_shift", "_filled",
+        "misses_in_window", "total", "total_misses", "violations",
+        "last_violation",
+    )
+
+    def __init__(self, constraint: Union[MKConstraint, Tuple[int, int]]):
+        if isinstance(constraint, tuple):
+            constraint = MKConstraint(*constraint)
+        if not isinstance(constraint, MKConstraint):
+            raise ValueError(
+                f"MKAutomaton needs an MKConstraint or (m, k) tuple, "
+                f"got {constraint!r}"
+            )
+        self.m = constraint.m
+        self.k = constraint.k
+        self._state = 0
+        self._mask = (1 << constraint.k) - 1
+        self._out_shift = constraint.k - 1
+        self._filled = 0
+        self.misses_in_window = 0
+        self.total = 0
+        self.total_misses = 0
+        self.violations = 0
+        #: Activation index (0-based record count) of the last violation,
+        #: or -1.  The store keeps counts, not per-violation lists: a
+        #: fleet key may violate millions of times over its lifetime.
+        self.last_violation = -1
+
+    @property
+    def constraint(self) -> MKConstraint:
+        """The checked constraint (reconstructed; not stored)."""
+        return MKConstraint(self.m, self.k)
+
+    @property
+    def margin(self) -> int:
+        """How many further misses the current window tolerates."""
+        return self.m - self.misses_in_window
+
+    @property
+    def violated(self) -> bool:
+        """True if the constraint was ever violated."""
+        return self.violations > 0
+
+    def record(self, miss: bool) -> bool:
+        """Record one outcome; True if the window now violates."""
+        if self._filled == self.k:
+            # The outgoing (oldest) bit leaves the window.
+            self.misses_in_window -= (self._state >> self._out_shift) & 1
+        else:
+            self._filled += 1
+        if miss:
+            self._state = ((self._state << 1) | 1) & self._mask
+            self.misses_in_window += 1
+            self.total_misses += 1
+        else:
+            self._state = (self._state << 1) & self._mask
+        self.total += 1
+        if self.misses_in_window > self.m:
+            self.violations += 1
+            self.last_violation = self.total - 1
+            return True
+        return False
+
+    def window_bits(self) -> List[bool]:
+        """The buffered window, oldest outcome first (diagnostics)."""
+        n = self._filled
+        return [bool((self._state >> (n - 1 - i)) & 1) for i in range(n)]
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """JSON-able exact state (restored by :meth:`restore`)."""
+        return {
+            "m": self.m,
+            "k": self.k,
+            "state": self._state,
+            "filled": self._filled,
+            "misses_in_window": self.misses_in_window,
+            "total": self.total,
+            "total_misses": self.total_misses,
+            "violations": self.violations,
+            "last_violation": self.last_violation,
+        }
+
+    @classmethod
+    def restore(cls, data: Dict[str, int]) -> "MKAutomaton":
+        """Rebuild an automaton from :meth:`snapshot` output."""
+        automaton = cls((data["m"], data["k"]))
+        automaton._state = data["state"]
+        automaton._filled = data["filled"]
+        automaton.misses_in_window = data["misses_in_window"]
+        automaton.total = data["total"]
+        automaton.total_misses = data["total_misses"]
+        automaton.violations = data["violations"]
+        automaton.last_violation = data["last_violation"]
+        return automaton
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<MKAutomaton ({self.m},{self.k}) "
+            f"misses={self.misses_in_window} total={self.total} "
+            f"violations={self.violations}>"
+        )

@@ -1,0 +1,177 @@
+"""The telemetry wire format: one flat record per monitored event.
+
+A :class:`TelemetryRecord` is the unit every producer (local monitors,
+remote monitors, chain runtimes, the degradation manager, heartbeat
+timers) publishes and the ingestion service consumes.  The format is
+deliberately *flat and positional* -- ten fields, no nesting -- so it
+survives transports that only move tuples (multiprocessing queues,
+JSON lines, shared-memory rings) and so encoding stays off the monitor
+hot path's critical section.
+
+Wire schema ``repro-telemetry/1``: a record is the JSON array
+
+    [kind, source, chain, segment, activation, latency_ns, verdict,
+     level, timestamp_ns, seq]
+
+with ``kind`` one of :class:`RecordKind`'s values, ``source`` the
+vehicle/process identity, ``seq`` a per-source monotonic sequence
+number (the store uses it for gap accounting), and ``timestamp_ns`` the
+producer's clock.  Unused fields carry ``""`` / ``None`` -- never
+omitted, so field positions are stable across kinds.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from typing import Iterable, Iterator, List, Optional, Tuple
+
+#: Schema identifier for persisted record streams.
+WIRE_SCHEMA = "repro-telemetry/1"
+
+#: Number of positional fields in one wire record.
+WIRE_FIELDS = 10
+
+
+class RecordKind(enum.Enum):
+    """What kind of event a record describes."""
+
+    #: One segment activation outcome (OK/RECOVERED/MISS/SKIPPED).
+    SEGMENT = "segment"
+    #: One finalized chain activation verdict (``verdict`` ok/miss).
+    CHAIN = "chain"
+    #: A raised temporal exception (diagnostics; no (m,k) effect).
+    EXCEPTION = "exception"
+    #: A degradation-mode transition (``level`` = new mode).
+    MODE = "mode"
+    #: Liveness beacon from a source with no other traffic.
+    HEARTBEAT = "heartbeat"
+
+
+#: Fast path: wire string -> RecordKind (Enum call is surprisingly slow).
+_KIND_BY_VALUE = {kind.value: kind for kind in RecordKind}
+
+
+class TelemetryRecord:
+    """One telemetry event in memory.
+
+    ``__slots__`` keeps the per-record footprint small: an ingest run
+    holds tens of thousands of these at a time in the bounded queue.
+    """
+
+    __slots__ = (
+        "kind", "source", "chain", "segment", "activation",
+        "latency_ns", "verdict", "level", "timestamp_ns", "seq",
+    )
+
+    def __init__(
+        self,
+        kind: RecordKind,
+        source: str,
+        chain: str = "",
+        segment: str = "",
+        activation: int = -1,
+        latency_ns: Optional[int] = None,
+        verdict: str = "",
+        level: str = "",
+        timestamp_ns: int = 0,
+        seq: int = 0,
+    ):
+        self.kind = kind
+        self.source = source
+        self.chain = chain
+        self.segment = segment
+        self.activation = activation
+        self.latency_ns = latency_ns
+        self.verdict = verdict
+        self.level = level
+        self.timestamp_ns = timestamp_ns
+        self.seq = seq
+
+    # ------------------------------------------------------------------
+    def to_wire(self) -> Tuple:
+        """The positional wire tuple (JSON-serializable)."""
+        return (
+            self.kind.value, self.source, self.chain, self.segment,
+            self.activation, self.latency_ns, self.verdict, self.level,
+            self.timestamp_ns, self.seq,
+        )
+
+    @classmethod
+    def from_wire(cls, fields: Tuple) -> "TelemetryRecord":
+        """Rebuild a record from its wire tuple; validates the kind."""
+        if len(fields) != WIRE_FIELDS:
+            raise ValueError(
+                f"wire record needs {WIRE_FIELDS} fields, got {len(fields)}"
+            )
+        kind = _KIND_BY_VALUE.get(fields[0])
+        if kind is None:
+            raise ValueError(f"unknown record kind {fields[0]!r}")
+        record = cls.__new__(cls)
+        record.kind = kind
+        (_, record.source, record.chain, record.segment, record.activation,
+         record.latency_ns, record.verdict, record.level,
+         record.timestamp_ns, record.seq) = fields
+        return record
+
+    def encode_line(self) -> str:
+        """One compact JSON line (the persisted/transport form)."""
+        return json.dumps(self.to_wire(), separators=(",", ":"))
+
+    @classmethod
+    def decode_line(cls, line: str) -> "TelemetryRecord":
+        """Inverse of :meth:`encode_line`."""
+        return cls.from_wire(tuple(json.loads(line)))
+
+    # ------------------------------------------------------------------
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, TelemetryRecord):
+            return NotImplemented
+        return self.to_wire() == other.to_wire()
+
+    def __hash__(self) -> int:
+        return hash(self.to_wire())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<TelemetryRecord {self.kind.value} {self.source} "
+            f"{self.chain or self.segment} n={self.activation} "
+            f"verdict={self.verdict!r} seq={self.seq}>"
+        )
+
+
+def encode_stream(records: Iterable[TelemetryRecord]) -> str:
+    """Encode *records* as a schema-headed JSONL document."""
+    lines = [json.dumps({"schema": WIRE_SCHEMA})]
+    lines.extend(record.encode_line() for record in records)
+    return "\n".join(lines) + "\n"
+
+
+def decode_stream(text: str) -> Iterator[TelemetryRecord]:
+    """Decode a document produced by :func:`encode_stream`."""
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        return
+    header = json.loads(lines[0])
+    if not isinstance(header, dict) or header.get("schema") != WIRE_SCHEMA:
+        raise ValueError(f"unsupported telemetry stream header {lines[0]!r}")
+    for line in lines[1:]:
+        yield TelemetryRecord.decode_line(line)
+
+
+def segment_record(
+    source: str,
+    chain: str,
+    segment: str,
+    activation: int,
+    latency_ns: Optional[int],
+    verdict: str,
+    timestamp_ns: int,
+    seq: int,
+) -> TelemetryRecord:
+    """Convenience constructor for the most common record kind."""
+    return TelemetryRecord(
+        kind=RecordKind.SEGMENT, source=source, chain=chain, segment=segment,
+        activation=activation, latency_ns=latency_ns, verdict=verdict,
+        timestamp_ns=timestamp_ns, seq=seq,
+    )

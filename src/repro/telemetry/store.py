@@ -1,0 +1,475 @@
+"""The sharded in-memory chain-state store.
+
+State is keyed by ``(source, chain)`` -- one entry per monitored event
+chain per vehicle/process -- and partitioned over ``n_shards`` hash
+shards.  Sharding uses ``zlib.crc32`` (stable across interpreters and
+runs, unlike ``hash``), so a snapshot taken on one host restores onto
+another with identical placement, and a future multi-worker deployment
+can assign shards to workers without rehashing.
+
+Per key the store maintains exactly the paper-shaped online state, none
+of which grows with the record count:
+
+- an incremental (m,k) window automaton
+  (:class:`~repro.telemetry.automata.MKAutomaton`) over chain verdicts;
+- one streaming latency histogram per segment
+  (:class:`~repro.telemetry.histogram.StreamingHistogram`: p50/p95/p99
+  without raw samples);
+- latency-over-budget evaluation windows (fixed-size record windows;
+  a window is "over" when more than 5% of its samples exceeded the
+  segment budget -- i.e. its exact windowed p95 is over budget);
+- verdict counters.
+
+Per source the store tracks heartbeat (last-seen timestamp), sequence
+continuity (gaps/reorders from the per-source ``seq`` field) and the
+last reported degradation level.
+
+:meth:`ChainStateStore.apply` returns an :class:`ApplyOutcome` of plain
+facts; converting facts into alerts is the
+:class:`~repro.telemetry.alerts.AlertEngine`'s business.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.weakly_hard import MKConstraint
+from repro.telemetry.automata import MKAutomaton
+from repro.telemetry.histogram import DEFAULT_ALPHA, StreamingHistogram
+from repro.telemetry.records import RecordKind, TelemetryRecord
+
+#: Snapshot schema identifier.
+SNAPSHOT_SCHEMA = "repro-telemetry-store/1"
+
+#: Fraction of a latency window allowed over budget before the window
+#: counts as "over" (5% == the windowed p95 crossed the budget).
+WINDOW_OVER_FRACTION = 0.05
+
+
+@dataclass
+class StoreConfig:
+    """Shape and policy knobs of the store."""
+
+    n_shards: int = 8
+    #: Relative accuracy of the latency sketches.
+    alpha: float = DEFAULT_ALPHA
+    #: (m,k) applied to chains without an explicit entry.
+    default_mk: Tuple[int, int] = (2, 10)
+    #: chain name -> (m, k).
+    mk_by_chain: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    #: segment name -> latency budget in ns (over-budget rule input).
+    budget_by_segment: Dict[str, int] = field(default_factory=dict)
+    #: Budget for segments without an explicit entry (None = unchecked).
+    default_budget_ns: Optional[int] = None
+    #: Records per latency evaluation window.
+    window_records: int = 20
+    #: Consecutive over-budget windows before the latency rule trips.
+    latency_windows: int = 3
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {self.n_shards}")
+        if self.window_records < 1:
+            raise ValueError("window_records must be >= 1")
+        if self.latency_windows < 1:
+            raise ValueError("latency_windows must be >= 1")
+        MKConstraint(*self.default_mk)  # validate eagerly
+        for chain, mk in self.mk_by_chain.items():
+            MKConstraint(*mk)
+
+    def mk_for(self, chain: str) -> Tuple[int, int]:
+        return self.mk_by_chain.get(chain, self.default_mk)
+
+    def budget_for(self, segment: str) -> Optional[int]:
+        return self.budget_by_segment.get(segment, self.default_budget_ns)
+
+    def to_json(self) -> dict:
+        return {
+            "n_shards": self.n_shards,
+            "alpha": self.alpha,
+            "default_mk": list(self.default_mk),
+            "mk_by_chain": {c: list(mk) for c, mk in sorted(self.mk_by_chain.items())},
+            "budget_by_segment": dict(sorted(self.budget_by_segment.items())),
+            "default_budget_ns": self.default_budget_ns,
+            "window_records": self.window_records,
+            "latency_windows": self.latency_windows,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "StoreConfig":
+        return cls(
+            n_shards=data["n_shards"],
+            alpha=data["alpha"],
+            default_mk=tuple(data["default_mk"]),
+            mk_by_chain={c: tuple(mk) for c, mk in data["mk_by_chain"].items()},
+            budget_by_segment=dict(data["budget_by_segment"]),
+            default_budget_ns=data["default_budget_ns"],
+            window_records=data["window_records"],
+            latency_windows=data["latency_windows"],
+        )
+
+
+class _SegmentState:
+    """Per-(key, segment) latency state."""
+
+    __slots__ = (
+        "hist", "budget_ns", "win_records", "win_over",
+        "consec_over_windows", "verdicts",
+    )
+
+    def __init__(self, alpha: float, budget_ns: Optional[int]):
+        self.hist = StreamingHistogram(alpha=alpha)
+        self.budget_ns = budget_ns
+        #: Samples seen / over budget in the currently filling window.
+        self.win_records = 0
+        self.win_over = 0
+        #: Consecutive closed windows whose p95 was over budget.
+        self.consec_over_windows = 0
+        self.verdicts: Dict[str, int] = {}
+
+    def to_json(self) -> dict:
+        return {
+            "hist": self.hist.snapshot(),
+            "budget_ns": self.budget_ns,
+            "win_records": self.win_records,
+            "win_over": self.win_over,
+            "consec_over_windows": self.consec_over_windows,
+            "verdicts": dict(sorted(self.verdicts.items())),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, alpha: float) -> "_SegmentState":
+        state = cls(alpha=alpha, budget_ns=data["budget_ns"])
+        state.hist = StreamingHistogram.restore(data["hist"])
+        state.win_records = data["win_records"]
+        state.win_over = data["win_over"]
+        state.consec_over_windows = data["consec_over_windows"]
+        state.verdicts = dict(data["verdicts"])
+        return state
+
+
+class ChainState:
+    """Everything the store knows about one (source, chain) key."""
+
+    __slots__ = (
+        "automaton", "segments", "records", "last_activation",
+        "margin_exhausted",
+    )
+
+    def __init__(self, mk: Tuple[int, int]):
+        self.automaton = MKAutomaton(mk)
+        self.segments: Dict[str, _SegmentState] = {}
+        self.records = 0
+        self.last_activation = -1
+        #: Dedup flag for the margin-exhausted alert (reset on recovery).
+        self.margin_exhausted = False
+
+    def to_json(self) -> dict:
+        return {
+            "automaton": self.automaton.snapshot(),
+            "segments": {
+                name: self.segments[name].to_json()
+                for name in sorted(self.segments)
+            },
+            "records": self.records,
+            "last_activation": self.last_activation,
+            "margin_exhausted": self.margin_exhausted,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict, alpha: float) -> "ChainState":
+        automaton = MKAutomaton.restore(data["automaton"])
+        state = cls((automaton.m, automaton.k))
+        state.automaton = automaton
+        state.segments = {
+            name: _SegmentState.from_json(seg, alpha)
+            for name, seg in data["segments"].items()
+        }
+        state.records = data["records"]
+        state.last_activation = data["last_activation"]
+        state.margin_exhausted = data["margin_exhausted"]
+        return state
+
+
+class SourceState:
+    """Per-source liveness and stream-continuity state."""
+
+    __slots__ = (
+        "records", "last_seen_ns", "last_seq", "seq_gaps", "reorders",
+        "level", "gap_open",
+    )
+
+    def __init__(self):
+        self.records = 0
+        self.last_seen_ns = -1
+        self.last_seq = -1
+        self.seq_gaps = 0
+        self.reorders = 0
+        self.level = ""
+        #: Dedup flag for the heartbeat-gap alert (reset on traffic).
+        self.gap_open = False
+
+    def to_json(self) -> dict:
+        return {
+            "records": self.records,
+            "last_seen_ns": self.last_seen_ns,
+            "last_seq": self.last_seq,
+            "seq_gaps": self.seq_gaps,
+            "reorders": self.reorders,
+            "level": self.level,
+            "gap_open": self.gap_open,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "SourceState":
+        state = cls()
+        state.records = data["records"]
+        state.last_seen_ns = data["last_seen_ns"]
+        state.last_seq = data["last_seq"]
+        state.seq_gaps = data["seq_gaps"]
+        state.reorders = data["reorders"]
+        state.level = data["level"]
+        state.gap_open = data["gap_open"]
+        return state
+
+
+class ApplyOutcome:
+    """Plain facts one applied record produced (alert-engine input)."""
+
+    __slots__ = (
+        "record", "mk_violation", "margin", "margin_exhausted_now",
+        "latency_window_over_streak", "seq_gap",
+    )
+
+    def __init__(self, record: TelemetryRecord):
+        self.record = record
+        #: The chain's (m,k) window just violated.
+        self.mk_violation = False
+        #: Remaining miss budget after this record (None: no automaton).
+        self.margin: Optional[int] = None
+        #: The margin just reached zero (first time this episode).
+        self.margin_exhausted_now = False
+        #: N consecutive over-budget windows just completed (the streak
+        #: length, reported only at exact multiples of the threshold).
+        self.latency_window_over_streak = 0
+        #: Sequence numbers skipped right before this record.
+        self.seq_gap = 0
+
+
+class ChainStateStore:
+    """Sharded (source, chain) -> :class:`ChainState` map."""
+
+    def __init__(self, config: Optional[StoreConfig] = None):
+        self.config = config or StoreConfig()
+        self.shards: List[Dict[Tuple[str, str], ChainState]] = [
+            {} for _ in range(self.config.n_shards)
+        ]
+        self.sources: Dict[str, SourceState] = {}
+        self.applied = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def shard_index(source: str, chain: str, n_shards: int) -> int:
+        """Deterministic shard placement (crc32, not ``hash``)."""
+        return zlib.crc32(f"{source}\x1f{chain}".encode()) % n_shards
+
+    def chain_state(self, source: str, chain: str) -> ChainState:
+        """The state of one key, created on first touch."""
+        shard = self.shards[self.shard_index(source, chain, self.config.n_shards)]
+        key = (source, chain)
+        state = shard.get(key)
+        if state is None:
+            state = ChainState(self.config.mk_for(chain))
+            shard[key] = state
+        return state
+
+    def source_state(self, source: str) -> SourceState:
+        state = self.sources.get(source)
+        if state is None:
+            state = SourceState()
+            self.sources[source] = state
+        return state
+
+    def keys(self) -> List[Tuple[str, str]]:
+        """All (source, chain) keys, sorted."""
+        return sorted(key for shard in self.shards for key in shard)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    # ------------------------------------------------------------------
+    def apply(self, record: TelemetryRecord) -> ApplyOutcome:
+        """Fold one record into the store; return the produced facts."""
+        outcome = ApplyOutcome(record)
+        config = self.config
+        self.applied += 1
+
+        source = self.source_state(record.source)
+        source.records += 1
+        if record.timestamp_ns > source.last_seen_ns:
+            source.last_seen_ns = record.timestamp_ns
+        source.gap_open = False
+        seq = record.seq
+        if source.last_seq >= 0:
+            if seq > source.last_seq + 1:
+                outcome.seq_gap = seq - source.last_seq - 1
+                source.seq_gaps += outcome.seq_gap
+            elif seq <= source.last_seq:
+                source.reorders += 1
+        if seq > source.last_seq:
+            source.last_seq = seq
+
+        kind = record.kind
+        if kind is RecordKind.SEGMENT:
+            state = self.chain_state(record.source, record.chain)
+            state.records += 1
+            if record.activation > state.last_activation:
+                state.last_activation = record.activation
+            seg = state.segments.get(record.segment)
+            if seg is None:
+                seg = _SegmentState(
+                    alpha=config.alpha,
+                    budget_ns=config.budget_for(record.segment),
+                )
+                state.segments[record.segment] = seg
+            verdict = record.verdict
+            seg.verdicts[verdict] = seg.verdicts.get(verdict, 0) + 1
+            latency = record.latency_ns
+            if latency is not None:
+                seg.hist.add(latency)
+                if seg.budget_ns is not None:
+                    seg.win_records += 1
+                    if latency > seg.budget_ns:
+                        seg.win_over += 1
+                    if seg.win_records >= config.window_records:
+                        over = (
+                            seg.win_over
+                            > WINDOW_OVER_FRACTION * seg.win_records
+                        )
+                        seg.win_records = 0
+                        seg.win_over = 0
+                        if over:
+                            seg.consec_over_windows += 1
+                            if (seg.consec_over_windows
+                                    % config.latency_windows == 0):
+                                outcome.latency_window_over_streak = (
+                                    seg.consec_over_windows
+                                )
+                        else:
+                            seg.consec_over_windows = 0
+        elif kind is RecordKind.CHAIN:
+            state = self.chain_state(record.source, record.chain)
+            state.records += 1
+            if record.activation > state.last_activation:
+                state.last_activation = record.activation
+            automaton = state.automaton
+            violated = automaton.record(record.verdict == "miss")
+            outcome.margin = automaton.margin
+            if violated:
+                outcome.mk_violation = True
+                state.margin_exhausted = True
+            elif automaton.margin <= 0:
+                if not state.margin_exhausted:
+                    state.margin_exhausted = True
+                    outcome.margin_exhausted_now = True
+            else:
+                state.margin_exhausted = False
+        elif kind is RecordKind.MODE:
+            source.level = record.level
+        # EXCEPTION / HEARTBEAT only refresh the source state above.
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Fleet-wide summaries
+    # ------------------------------------------------------------------
+    def chain_summary(self) -> List[dict]:
+        """Per-key (m,k) status, sorted by key (reporting/CLI)."""
+        rows = []
+        for source, chain in self.keys():
+            state = self.chain_state(source, chain)
+            automaton = state.automaton
+            rows.append({
+                "source": source,
+                "chain": chain,
+                "mk": f"({automaton.m},{automaton.k})",
+                "activations": automaton.total,
+                "misses": automaton.total_misses,
+                "violations": automaton.violations,
+                "margin": automaton.margin,
+                "records": state.records,
+            })
+        return rows
+
+    def segment_percentiles(self) -> Dict[str, dict]:
+        """Fleet-wide per-segment latency percentiles (merged sketches)."""
+        merged: Dict[str, StreamingHistogram] = {}
+        for shard in self.shards:
+            for state in shard.values():
+                for name, seg in state.segments.items():
+                    sketch = merged.get(name)
+                    if sketch is None:
+                        sketch = StreamingHistogram(alpha=self.config.alpha)
+                        merged[name] = sketch
+                    sketch.merge(seg.hist)
+        return {
+            name: merged[name].percentiles() for name in sorted(merged)
+        }
+
+    def total_violations(self) -> int:
+        """Sum of (m,k) violations across every key."""
+        return sum(
+            state.automaton.violations
+            for shard in self.shards for state in shard.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshot / restore
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-able exact state; inverse of :meth:`restore`."""
+        return {
+            "schema": SNAPSHOT_SCHEMA,
+            "config": self.config.to_json(),
+            "applied": self.applied,
+            "shards": [
+                [
+                    [source, chain, shard[(source, chain)].to_json()]
+                    for source, chain in sorted(shard)
+                ]
+                for shard in self.shards
+            ],
+            "sources": {
+                name: self.sources[name].to_json()
+                for name in sorted(self.sources)
+            },
+        }
+
+    @classmethod
+    def restore(cls, data: dict) -> "ChainStateStore":
+        """Rebuild a store from :meth:`snapshot` output."""
+        if data.get("schema") != SNAPSHOT_SCHEMA:
+            raise ValueError(
+                f"unsupported store snapshot schema {data.get('schema')!r}"
+            )
+        config = StoreConfig.from_json(data["config"])
+        store = cls(config)
+        store.applied = data["applied"]
+        if len(data["shards"]) != config.n_shards:
+            raise ValueError("snapshot shard count does not match config")
+        for index, entries in enumerate(data["shards"]):
+            shard = store.shards[index]
+            for source, chain, state in entries:
+                shard[(source, chain)] = ChainState.from_json(
+                    state, config.alpha
+                )
+        for name, state in data["sources"].items():
+            store.sources[name] = SourceState.from_json(state)
+        return store
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ChainStateStore keys={len(self)} shards={self.config.n_shards} "
+            f"applied={self.applied}>"
+        )

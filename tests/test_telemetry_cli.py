@@ -1,0 +1,79 @@
+"""CLI surfaces: subcommand help, README table sync, telemetry command."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, SUBCOMMANDS
+from repro.experiments.runner import main as runner_main
+from repro.telemetry.cli import main as telemetry_main
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+class TestSubcommandHelp:
+    def test_every_subcommand_has_a_description(self):
+        assert set(SUBCOMMANDS) == set(EXPERIMENTS) | {
+            "all", "bench", "telemetry"
+        }
+        for name, description in SUBCOMMANDS.items():
+            assert description.strip(), name
+            assert len(description) < 80, name
+
+    def test_help_epilog_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name, description in SUBCOMMANDS.items():
+            assert name in out
+            assert description in out
+
+    def test_readme_cli_table_matches_runner(self):
+        readme = README.read_text()
+        for name, description in SUBCOMMANDS.items():
+            row = f"| `{name}` | {description} |"
+            assert row in readme, f"README CLI table missing/stale: {row!r}"
+
+
+class TestTelemetryCommand:
+    def test_routed_from_runner(self, capsys):
+        assert runner_main(
+            ["telemetry", "--vehicles", "1", "--frames", "30"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "accounting       : OK" in out
+
+    def test_smoke_run_writes_alert_log_and_snapshot(self, tmp_path, capsys):
+        alert_log = tmp_path / "alerts.jsonl"
+        snapshot = tmp_path / "snap.json"
+        code = telemetry_main([
+            "--vehicles", "4", "--frames", "120",
+            "--alert-log", str(alert_log),
+            "--snapshot", str(snapshot),
+        ])
+        assert code == 0
+        alerts = [
+            json.loads(line)
+            for line in alert_log.read_text().splitlines() if line
+        ]
+        assert alerts, "the imperfect fleet must raise alerts"
+        assert {"rule", "severity", "source", "timestamp_ns"} <= set(alerts[0])
+        data = json.loads(snapshot.read_text())
+        assert data["schema"] == "repro-telemetry-store/1"
+        assert "restore round-trip OK" in capsys.readouterr().out
+
+    def test_min_throughput_gate_fails_when_missed(self, capsys):
+        # An impossible gate must exit non-zero.
+        code = telemetry_main([
+            "--vehicles", "1", "--frames", "30",
+            "--min-throughput", "1e15",
+        ])
+        assert code == 1
+
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            runner_main(["no-such-figure"])
+        assert excinfo.value.code != 0

@@ -1,0 +1,192 @@
+"""End-to-end telemetry service: campaign replay, load, alert rules.
+
+The headline acceptance property lives here: replaying a fault-campaign
+scenario through the service raises an ``mk_violation`` alert for every
+ground-truth chain (m,k) violation -- no more, no fewer.
+"""
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.faults.campaign import CampaignConfig, FaultCampaign, default_scenarios
+from repro.faults.degradation import GracefulDegradationManager
+from repro.perception.stack import PerceptionStack, StackConfig
+from repro.telemetry import (
+    FleetConfig,
+    FleetLoadGenerator,
+    RULE_HEARTBEAT,
+    RULE_LATENCY_BUDGET,
+    RULE_MK_MARGIN,
+    RULE_MK_VIOLATION,
+    RULE_QUEUE_DROPS,
+    RULE_QUEUE_SATURATION,
+    RULE_SEQ_GAP,
+    ServiceConfig,
+    TelemetryEmitter,
+    TelemetryService,
+    attach_stack,
+    replay_stack_records,
+    run_load,
+    stack_store_config,
+)
+
+#: Environment override for the throughput floor (records/s); the
+#: acceptance criterion is 50k single-process on a developer machine.
+MIN_RPS_ENV = "REPRO_TELEMETRY_MIN_RPS"
+
+
+def _run_scenario_stack(name, n_frames=24):
+    """Run one campaign scenario; return (stack, manager, config)."""
+    cc = CampaignConfig(n_frames=n_frames)
+    scenario = next(s for s in default_scenarios() if s.name == name)
+    stack = PerceptionStack(dataclasses.replace(
+        StackConfig(seed=cc.seed), **scenario.config_overrides
+    ))
+    injectors = scenario.build(cc.n_frames)
+    for injector in injectors:
+        injector.arm(stack)
+    manager = GracefulDegradationManager(
+        stack, policy=cc.policy, watchdog=cc.watchdog
+    )
+    manager.start(cc.n_frames)
+    stack.run(n_frames=cc.n_frames)
+    for runtime in stack.chain_runtimes.values():
+        runtime.advance_window(cc.n_frames - 1)
+    return stack, manager, cc
+
+
+class TestCampaignReplay:
+    def test_alert_for_every_ground_truth_violation(self):
+        # executor_stall produces real chain (m,k) violations.
+        stack, manager, cc = _run_scenario_stack("executor_stall")
+        truth = sum(
+            rt.window.violations for rt in stack.chain_runtimes.values()
+        )
+        assert truth > 0, "scenario no longer violates; pick another"
+        counts, applied = FaultCampaign._replay_telemetry(
+            stack, "executor_stall", cc.n_frames, manager
+        )
+        assert counts.get(RULE_MK_VIOLATION, 0) == truth
+        assert applied > 0
+
+    def test_no_spurious_violation_alerts(self):
+        # loss_burst is fully masked by recovery: zero ground-truth
+        # chain violations, so zero mk_violation alerts.
+        stack, manager, cc = _run_scenario_stack("loss_burst")
+        truth = sum(
+            rt.window.violations for rt in stack.chain_runtimes.values()
+        )
+        assert truth == 0
+        counts, _applied = FaultCampaign._replay_telemetry(
+            stack, "loss_burst", cc.n_frames, manager
+        )
+        assert counts.get(RULE_MK_VIOLATION, 0) == 0
+
+    def test_replay_is_deterministic(self):
+        stack, manager, cc = _run_scenario_stack("loss_burst")
+        streams = [
+            list(replay_stack_records(stack, "s", cc.n_frames, manager))
+            for _ in range(2)
+        ]
+        assert streams[0] == streams[1]
+
+    def test_scenario_result_carries_alert_counts(self):
+        cc = CampaignConfig(n_frames=24)
+        scenario = next(
+            s for s in default_scenarios() if s.name == "executor_stall"
+        )
+        result = FaultCampaign([scenario], cc).run()
+        assert result.scenarios[0].alert_counts.get(RULE_MK_VIOLATION, 0) > 0
+        assert result.scenarios[0].telemetry_records > 0
+        assert "alerts" in result.render_report().splitlines()[0]
+
+
+class TestLiveAttach:
+    def test_monitors_publish_through_hooks(self):
+        stack = PerceptionStack(StackConfig(seed=1))
+        service = TelemetryService(
+            ServiceConfig(store=stack_store_config(stack))
+        )
+        emitter = TelemetryEmitter("vehicle-under-test", service.ingest)
+        attach_stack(stack, emitter)
+        stack.run(n_frames=10)
+        service.drain()
+        assert emitter.emitted > 0
+        assert service.applied == emitter.emitted
+        assert service.accounting_ok()
+        # Segment events resolved to their chains.
+        sources = {source for source, _chain in service.store.keys()}
+        assert sources == {"vehicle-under-test"}
+        chains = {chain for _source, chain in service.store.keys()}
+        assert chains & set(stack.chain_runtimes)
+
+
+class TestLoadGenerator:
+    def test_stream_digest_is_deterministic(self):
+        config = FleetConfig(vehicles=3, frames=60)
+        assert (
+            FleetLoadGenerator(config).stream_digest()
+            == FleetLoadGenerator(config).stream_digest()
+        )
+
+    def test_digest_depends_on_seed(self):
+        assert (
+            FleetLoadGenerator(FleetConfig(vehicles=3, frames=60, seed=1)).stream_digest()
+            != FleetLoadGenerator(FleetConfig(vehicles=3, frames=60, seed=2)).stream_digest()
+        )
+
+    def test_load_run_sustains_throughput_with_zero_silent_drops(self):
+        floor = float(os.environ.get(MIN_RPS_ENV, 50_000))
+        generator = FleetLoadGenerator(FleetConfig(vehicles=4, frames=200))
+        service = TelemetryService(
+            ServiceConfig(store=generator.config.store_config())
+        )
+        report = run_load(service, generator)
+        assert report.accounting_ok
+        assert report.dropped == 0 and report.pending == 0
+        assert report.applied == report.records
+        assert report.records_per_s >= floor, (
+            f"{report.records_per_s:,.0f} records/s under the "
+            f"{floor:,.0f} floor (override via {MIN_RPS_ENV})"
+        )
+
+    def test_every_traffic_alert_rule_fires(self):
+        # 4 vehicles x 400 frames: one faulty vehicle (fault window,
+        # lossy transport, silent tail) gives every rule traffic.
+        generator = FleetLoadGenerator(FleetConfig(vehicles=4, frames=400))
+        service = TelemetryService(
+            ServiceConfig(store=generator.config.store_config())
+        )
+        report = run_load(service, generator)
+        for rule in (RULE_MK_VIOLATION, RULE_MK_MARGIN, RULE_LATENCY_BUDGET,
+                     RULE_SEQ_GAP, RULE_HEARTBEAT):
+            assert report.alerts_by_rule.get(rule, 0) > 0, rule
+        assert generator.lost_in_transport > 0
+
+    def test_service_snapshot_round_trip_after_load(self):
+        generator = FleetLoadGenerator(FleetConfig(vehicles=2, frames=80))
+        service = TelemetryService(
+            ServiceConfig(store=generator.config.store_config())
+        )
+        run_load(service, generator)
+        snapshot = service.snapshot()
+        fresh = TelemetryService()
+        fresh.restore(snapshot)
+        assert fresh.snapshot() == snapshot
+
+
+class TestQueueRules:
+    def test_backpressure_raises_drop_and_saturation_alerts(self):
+        service = TelemetryService(
+            ServiceConfig(queue_capacity=16, auto_pump_batch=None)
+        )
+        generator = FleetLoadGenerator(FleetConfig(vehicles=1, frames=20))
+        for record in generator.records():
+            service.ingest(record)
+        service.poll(0)
+        counts = service.alert_log.counts_by_rule()
+        assert counts.get(RULE_QUEUE_DROPS, 0) == 1  # episodic
+        assert counts.get(RULE_QUEUE_SATURATION, 0) == 1
+        assert service.accounting_ok()
