@@ -270,6 +270,86 @@ def bench_telemetry_ingest() -> int:
     return len(records)
 
 
+def bench_uplink_roundtrip() -> int:
+    """Fleet stream through the full store-and-forward uplink path.
+
+    Every record is durably spooled (WAL append), batched by the
+    retrying client, carried over a clean channel, deduplicated,
+    logged append-before-ack, applied, and acknowledged -- the
+    fault-free cost of the chaos harness's data path.
+    """
+    import tempfile
+    from pathlib import Path
+
+    from repro.telemetry import (
+        FleetConfig,
+        FleetLoadGenerator,
+        ServiceConfig,
+        TelemetryService,
+    )
+    from repro.telemetry.uplink import (
+        AdversarialChannel,
+        RetryingUplinkClient,
+        UplinkClientConfig,
+        UplinkIngestor,
+        WalConfig,
+        WalSpooler,
+        decode_envelope,
+    )
+
+    fleet = FleetConfig(vehicles=2, frames=60, faulty_every=0)
+    records = FleetLoadGenerator(fleet).materialize()
+    streams: Dict[str, list] = {}
+    for record in records:
+        streams.setdefault(record.source, []).append(record)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        ingestor = UplinkIngestor(
+            TelemetryService(ServiceConfig(store=fleet.store_config())),
+            root / "fleet", fsync="never", checkpoint_every=None,
+        )
+        clients: Dict[str, RetryingUplinkClient] = {}
+        down = AdversarialChannel(
+            "down",
+            lambda frame, now: clients[frame.dst].on_ack(
+                decode_envelope(frame.payload), now
+            ),
+        )
+        up = AdversarialChannel(
+            "up",
+            lambda frame, now: down.send(
+                ingestor.handle_payload(frame.payload, now),
+                "fleet", frame.src, now,
+            ),
+        )
+        for source, stream in sorted(streams.items()):
+            spooler = WalSpooler.open_fresh(
+                WalConfig(root / source, fsync="never",
+                          segment_max_records=128),
+                source,
+            )
+            for record in stream:
+                spooler.append(record)
+            clients[source] = RetryingUplinkClient(
+                spooler,
+                lambda payload, now, src=source: up.send(
+                    payload, src, "fleet", now
+                ),
+                UplinkClientConfig(batch_records=64),
+            )
+        now = 0
+        while any(not c.idle() for c in clients.values()) and now < 10_000:
+            for client in clients.values():
+                client.tick(now)
+            up.step(now)
+            down.step(now)
+            now += 1
+        assert ingestor.service.store.applied == len(records), \
+            "uplink lost records on a clean channel"
+    return len(records)
+
+
 #: suite name -> ordered list of (bench name, layer, unit, fn).
 SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
     KERNEL_SUITE: [
@@ -287,6 +367,7 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
         ("budgeting_solve", "budgeting", "solves", bench_budgeting_solve),
         ("fault_scenario", "faults", "frames", bench_fault_scenario),
         ("telemetry_ingest", "telemetry", "records", bench_telemetry_ingest),
+        ("uplink_roundtrip", "telemetry", "records", bench_uplink_roundtrip),
     ],
 }
 

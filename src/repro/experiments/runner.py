@@ -135,6 +135,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "all": "run every figure experiment in sequence",
     "bench": "micro/e2e benchmark suites with baseline comparison",
     "budgeting": "deadline-budgeting study (independent, greedy, B&B)",
+    "chaos": "uplink fault+crash chaos sweep with ledger verification",
     "faults": "fault-injection campaign with oracle verdicts",
     "fig02": "event-sequence run: per-segment latency statistics",
     "fig03": "error-case walkthrough of one faulty activation",
@@ -168,16 +169,21 @@ def main(argv=None) -> int:
         from repro.telemetry.cli import main as telemetry_main
 
         return telemetry_main(argv[1:])
+    if argv and argv[0] == "chaos":
+        from repro.telemetry.uplink.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures ('bench' runs the "
-        "benchmark suites, 'telemetry' the fleet telemetry service).",
+        "benchmark suites, 'telemetry' the fleet telemetry service, "
+        "'chaos' the uplink chaos sweep).",
         epilog=_subcommand_epilog(),
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "telemetry"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "chaos", "telemetry"],
         help="which subcommand to run (one-line descriptions below)",
     )
     parser.add_argument(

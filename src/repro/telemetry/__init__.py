@@ -11,6 +11,12 @@ streaming latency histograms, and a rules-based
 :mod:`~repro.telemetry.alerts` engine raises operator alerts *before*
 constraints are violated.  ``python -m repro telemetry`` drives it all
 with a deterministic multi-vehicle :mod:`~repro.telemetry.loadgen`.
+
+Getting records from the vehicle to the fleet over a real (lossy,
+partitioning, crashing) link is :mod:`repro.telemetry.uplink`: durable
+store-and-forward spooling, a retrying transport client, idempotent
+at-least-once ingestion, and the ``python -m repro chaos`` sweep that
+proves the whole path under adversarial faults.
 """
 
 from repro.telemetry.alerts import (
@@ -46,6 +52,7 @@ from repro.telemetry.loadgen import (
 from repro.telemetry.pipeline import IngestQueue
 from repro.telemetry.records import (
     RecordKind,
+    SchemaVersionError,
     TelemetryRecord,
     WIRE_SCHEMA,
     decode_stream,
@@ -81,6 +88,7 @@ __all__ = [
     "RULE_QUEUE_DROPS",
     "RULE_QUEUE_SATURATION",
     "RULE_SEQ_GAP",
+    "SchemaVersionError",
     "ServiceConfig",
     "SourceState",
     "StoreConfig",

@@ -33,6 +33,24 @@ WIRE_SCHEMA = "repro-telemetry/1"
 WIRE_FIELDS = 10
 
 
+class SchemaVersionError(ValueError):
+    """A persisted document carries a schema this build cannot read.
+
+    Raised *before* any state is touched, with the offending and the
+    supported identifiers in the message -- never an obscure ``KeyError``
+    halfway through a restore.  Unknown *extra* fields inside a known
+    schema are tolerated with a warning instead (additive evolution).
+    """
+
+    def __init__(self, context: str, found, supported: str):
+        super().__init__(
+            f"{context}: unsupported schema {found!r} "
+            f"(this build reads {supported!r})"
+        )
+        self.found = found
+        self.supported = supported
+
+
 class RecordKind(enum.Enum):
     """What kind of event a record describes."""
 
@@ -153,8 +171,12 @@ def decode_stream(text: str) -> Iterator[TelemetryRecord]:
     if not lines:
         return
     header = json.loads(lines[0])
-    if not isinstance(header, dict) or header.get("schema") != WIRE_SCHEMA:
+    if not isinstance(header, dict):
         raise ValueError(f"unsupported telemetry stream header {lines[0]!r}")
+    if header.get("schema") != WIRE_SCHEMA:
+        raise SchemaVersionError(
+            "telemetry stream", header.get("schema"), WIRE_SCHEMA
+        )
     for line in lines[1:]:
         yield TelemetryRecord.decode_line(line)
 

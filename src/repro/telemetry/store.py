@@ -31,6 +31,7 @@ facts; converting facts into alerts is the
 
 from __future__ import annotations
 
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
@@ -38,7 +39,11 @@ from typing import Dict, List, Optional, Tuple, Union
 from repro.core.weakly_hard import MKConstraint
 from repro.telemetry.automata import MKAutomaton
 from repro.telemetry.histogram import DEFAULT_ALPHA, StreamingHistogram
-from repro.telemetry.records import RecordKind, TelemetryRecord
+from repro.telemetry.records import (
+    RecordKind,
+    SchemaVersionError,
+    TelemetryRecord,
+)
 
 #: Snapshot schema identifier.
 SNAPSHOT_SCHEMA = "repro-telemetry-store/1"
@@ -46,6 +51,24 @@ SNAPSHOT_SCHEMA = "repro-telemetry-store/1"
 #: Fraction of a latency window allowed over budget before the window
 #: counts as "over" (5% == the windowed p95 crossed the budget).
 WINDOW_OVER_FRACTION = 0.05
+
+#: Per-source cap on tracked open-gap sequence numbers.  A late record
+#: filling a tracked gap heals it (``seq_gaps`` decremented, counted as
+#: a reorder); gaps evicted from the window stay counted forever and a
+#: very late filler is then classed as a duplicate -- bounded memory
+#: wins over perfect attribution at that distance.
+MAX_TRACKED_MISSING = 4096
+
+
+def _warn_unknown_fields(context: str, data: dict, known: frozenset) -> None:
+    """Tolerate additive schema evolution: warn, never fail."""
+    unknown = sorted(set(data) - set(known))
+    if unknown:
+        warnings.warn(
+            f"{context}: ignoring unknown field(s) {unknown} "
+            f"(written by a newer build?)",
+            stacklevel=3,
+        )
 
 
 @dataclass
@@ -97,8 +120,15 @@ class StoreConfig:
             "latency_windows": self.latency_windows,
         }
 
+    _KNOWN_FIELDS = frozenset((
+        "n_shards", "alpha", "default_mk", "mk_by_chain",
+        "budget_by_segment", "default_budget_ns", "window_records",
+        "latency_windows",
+    ))
+
     @classmethod
     def from_json(cls, data: dict) -> "StoreConfig":
+        _warn_unknown_fields("store config", data, cls._KNOWN_FIELDS)
         return cls(
             n_shards=data["n_shards"],
             alpha=data["alpha"],
@@ -139,8 +169,14 @@ class _SegmentState:
             "verdicts": dict(sorted(self.verdicts.items())),
         }
 
+    _KNOWN_FIELDS = frozenset((
+        "hist", "budget_ns", "win_records", "win_over",
+        "consec_over_windows", "verdicts",
+    ))
+
     @classmethod
     def from_json(cls, data: dict, alpha: float) -> "_SegmentState":
+        _warn_unknown_fields("segment state", data, cls._KNOWN_FIELDS)
         state = cls(alpha=alpha, budget_ns=data["budget_ns"])
         state.hist = StreamingHistogram.restore(data["hist"])
         state.win_records = data["win_records"]
@@ -178,8 +214,14 @@ class ChainState:
             "margin_exhausted": self.margin_exhausted,
         }
 
+    _KNOWN_FIELDS = frozenset((
+        "automaton", "segments", "records", "last_activation",
+        "margin_exhausted",
+    ))
+
     @classmethod
     def from_json(cls, data: dict, alpha: float) -> "ChainState":
+        _warn_unknown_fields("chain state", data, cls._KNOWN_FIELDS)
         automaton = MKAutomaton.restore(data["automaton"])
         state = cls((automaton.m, automaton.k))
         state.automaton = automaton
@@ -194,11 +236,22 @@ class ChainState:
 
 
 class SourceState:
-    """Per-source liveness and stream-continuity state."""
+    """Per-source liveness and stream-continuity state.
+
+    Sequence continuity distinguishes three outcomes for an arriving
+    ``seq`` (the lossy uplink makes all three reachable):
+
+    - ahead of ``last_seq``: any skipped numbers open a *gap* (tracked
+      in ``missing``, bounded by :data:`MAX_TRACKED_MISSING`);
+    - filling a tracked gap: a late *reorder* -- the gap heals
+      (``seq_gaps`` decremented), it was delay, not loss;
+    - anything else at-or-below ``last_seq``: a *duplicate* -- counted,
+      and it must never inflate gap or reorder statistics.
+    """
 
     __slots__ = (
         "records", "last_seen_ns", "last_seq", "seq_gaps", "reorders",
-        "level", "gap_open",
+        "duplicates", "missing", "level", "gap_open",
     )
 
     def __init__(self):
@@ -207,9 +260,24 @@ class SourceState:
         self.last_seq = -1
         self.seq_gaps = 0
         self.reorders = 0
+        self.duplicates = 0
+        #: Open-gap seqs still healable by a late arrival (bounded).
+        self.missing: set = set()
         self.level = ""
         #: Dedup flag for the heartbeat-gap alert (reset on traffic).
         self.gap_open = False
+
+    def note_missing(self, lo: int, hi: int) -> None:
+        """Track ``[lo, hi)`` as open gaps, evicting the oldest beyond
+        the cap (evicted gaps stay counted, they just cannot heal)."""
+        if hi - lo > MAX_TRACKED_MISSING:
+            lo = hi - MAX_TRACKED_MISSING
+        missing = self.missing
+        missing.update(range(lo, hi))
+        overflow = len(missing) - MAX_TRACKED_MISSING
+        if overflow > 0:
+            for seq in sorted(missing)[:overflow]:
+                missing.discard(seq)
 
     def to_json(self) -> dict:
         return {
@@ -218,18 +286,29 @@ class SourceState:
             "last_seq": self.last_seq,
             "seq_gaps": self.seq_gaps,
             "reorders": self.reorders,
+            "duplicates": self.duplicates,
+            "missing": sorted(self.missing),
             "level": self.level,
             "gap_open": self.gap_open,
         }
 
+    _KNOWN_FIELDS = frozenset((
+        "records", "last_seen_ns", "last_seq", "seq_gaps", "reorders",
+        "duplicates", "missing", "level", "gap_open",
+    ))
+
     @classmethod
     def from_json(cls, data: dict) -> "SourceState":
+        _warn_unknown_fields("source state", data, cls._KNOWN_FIELDS)
         state = cls()
         state.records = data["records"]
         state.last_seen_ns = data["last_seen_ns"]
         state.last_seq = data["last_seq"]
         state.seq_gaps = data["seq_gaps"]
         state.reorders = data["reorders"]
+        # Additive fields: snapshots from older builds omit them.
+        state.duplicates = data.get("duplicates", 0)
+        state.missing = set(data.get("missing", ()))
         state.level = data["level"]
         state.gap_open = data["gap_open"]
         return state
@@ -240,7 +319,7 @@ class ApplyOutcome:
 
     __slots__ = (
         "record", "mk_violation", "margin", "margin_exhausted_now",
-        "latency_window_over_streak", "seq_gap",
+        "latency_window_over_streak", "seq_gap", "duplicate",
     )
 
     def __init__(self, record: TelemetryRecord):
@@ -256,6 +335,8 @@ class ApplyOutcome:
         self.latency_window_over_streak = 0
         #: Sequence numbers skipped right before this record.
         self.seq_gap = 0
+        #: The record's seq was already seen for this source.
+        self.duplicate = False
 
 
 class ChainStateStore:
@@ -312,14 +393,23 @@ class ChainStateStore:
             source.last_seen_ns = record.timestamp_ns
         source.gap_open = False
         seq = record.seq
-        if source.last_seq >= 0:
+        if seq > source.last_seq:
+            # Emitter seqs start at 0, so skipped numbers -- including
+            # before the first record we ever saw -- open a gap.
             if seq > source.last_seq + 1:
                 outcome.seq_gap = seq - source.last_seq - 1
                 source.seq_gaps += outcome.seq_gap
-            elif seq <= source.last_seq:
-                source.reorders += 1
-        if seq > source.last_seq:
+                source.note_missing(source.last_seq + 1, seq)
             source.last_seq = seq
+        elif seq in source.missing:
+            # A late arrival filled a counted gap: it was reordering,
+            # not loss -- heal the gap count.
+            source.missing.discard(seq)
+            source.seq_gaps -= 1
+            source.reorders += 1
+        else:
+            source.duplicates += 1
+            outcome.duplicate = True
 
         kind = record.kind
         if kind is RecordKind.SEGMENT:
@@ -446,13 +536,26 @@ class ChainStateStore:
             },
         }
 
+    _KNOWN_FIELDS = frozenset(
+        ("schema", "config", "applied", "shards", "sources")
+    )
+
     @classmethod
     def restore(cls, data: dict) -> "ChainStateStore":
-        """Rebuild a store from :meth:`snapshot` output."""
+        """Rebuild a store from :meth:`snapshot` output.
+
+        Raises :class:`~repro.telemetry.records.SchemaVersionError` for
+        a missing/unknown schema identifier (checked before anything
+        else is read); unknown extra fields warn and are skipped.
+        """
+        if not isinstance(data, dict):
+            raise SchemaVersionError("store snapshot", type(data).__name__,
+                                     SNAPSHOT_SCHEMA)
         if data.get("schema") != SNAPSHOT_SCHEMA:
-            raise ValueError(
-                f"unsupported store snapshot schema {data.get('schema')!r}"
+            raise SchemaVersionError(
+                "store snapshot", data.get("schema"), SNAPSHOT_SCHEMA
             )
+        _warn_unknown_fields("store snapshot", data, cls._KNOWN_FIELDS)
         config = StoreConfig.from_json(data["config"])
         store = cls(config)
         store.applied = data["applied"]

@@ -1,0 +1,231 @@
+"""The vehicle-side retrying uplink client.
+
+Stop-and-wait over the spool: the client sends the oldest pending
+records as one batch, then waits for the cumulative ack watermark to
+cover the batch before sending the next.  That discipline is what makes
+the fleet side's dedup watermark sound (a seq at or below the watermark
+is *always* a duplicate, see
+:class:`~repro.telemetry.uplink.ingest.DedupWatermark`), and it makes
+every retry safe: a lost ack just means the same batch is offered
+again and deduplicated.
+
+Failure handling, all in deterministic virtual steps:
+
+- **timeout** -- no covering ack within ``ack_timeout`` steps: resend
+  after exponential backoff (``backoff_base * 2^(n-1)``, capped) plus
+  *deterministic jitter* drawn from the client's seeded RNG stream, so
+  a fleet of clients desynchronizes identically on every run;
+- **circuit breaker** -- after ``failure_threshold`` consecutive
+  timeouts the circuit opens for ``cooldown`` steps (no sends at all),
+  then half-opens with a single probe batch; one covering ack closes
+  it again.  This keeps a partitioned vehicle from hammering the link.
+
+The client owns no durability: records live in the
+:class:`~repro.telemetry.uplink.wal.WalSpooler` until acked, so a
+client crash loses nothing -- a fresh client over the recovered spool
+resumes exactly where the acks stopped.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from repro.telemetry.records import TelemetryRecord
+from repro.telemetry.uplink.transport import ACK_SCHEMA, encode_batch
+from repro.telemetry.uplink.wal import WalSpooler
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass
+class UplinkClientConfig:
+    """Retry/backoff/breaker policy, in virtual steps."""
+
+    batch_records: int = 64
+    ack_timeout: int = 8
+    backoff_base: int = 2
+    backoff_max: int = 64
+    failure_threshold: int = 4
+    cooldown: int = 24
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.batch_records < 1:
+            raise ValueError("batch_records must be >= 1")
+        if self.ack_timeout < 1:
+            raise ValueError("ack_timeout must be >= 1")
+        if self.backoff_base < 1 or self.backoff_max < self.backoff_base:
+            raise ValueError("need 1 <= backoff_base <= backoff_max")
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        if self.cooldown < 1:
+            raise ValueError("cooldown must be >= 1")
+
+
+@dataclass
+class _InFlight:
+    batch_id: int
+    max_seq: int
+    deadline: int
+
+
+class RetryingUplinkClient:
+    """Drains a :class:`WalSpooler` through an unreliable send callable."""
+
+    def __init__(
+        self,
+        spooler: WalSpooler,
+        send: Callable[[str, int], bool],
+        config: Optional[UplinkClientConfig] = None,
+        life: int = 0,
+    ):
+        self.spooler = spooler
+        self.source = spooler.source
+        self._send = send
+        self.config = config or UplinkClientConfig()
+        # Deterministic jitter stream; ``life`` salts restarts so a
+        # recovered client doesn't replay its predecessor's jitter.
+        self._rng = np.random.default_rng(
+            (self.config.seed * 0x9E3779B1
+             + zlib.crc32(self.source.encode()) + life) & 0xFFFFFFFF
+        )
+        self.circuit = CircuitState.CLOSED
+        self._reopen_at = 0
+        self._in_flight: Optional[_InFlight] = None
+        self._next_send_at = 0
+        self._next_batch_id = 0
+        self._last_lead_seq: Optional[int] = None
+        self.consecutive_failures = 0
+        #: Called with the records a fresh ack released from the spool.
+        self.on_acked: Optional[Callable[[List[TelemetryRecord]], None]] = None
+        # Counters.
+        self.batches_sent = 0
+        self.records_sent = 0
+        self.retries = 0
+        self.timeouts = 0
+        self.acks = 0
+        self.stale_acks = 0
+        self.circuit_opens = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> bool:
+        return self._in_flight is not None
+
+    def idle(self) -> bool:
+        """Nothing left to do (spool drained, nothing awaiting ack)."""
+        return self._in_flight is None and self.spooler.pending == 0
+
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> bool:
+        """Advance the client at step *now*; True when a batch went out."""
+        if self.circuit is CircuitState.OPEN:
+            if now < self._reopen_at:
+                return False
+            self.circuit = CircuitState.HALF_OPEN
+        flight = self._in_flight
+        if flight is not None:
+            if now < flight.deadline:
+                return False
+            self._on_timeout(now)
+            return False
+        if now < self._next_send_at:
+            return False
+        batch = self.spooler.pending_records(limit=self.config.batch_records)
+        if not batch:
+            return False
+        batch_id = self._next_batch_id
+        self._next_batch_id += 1
+        payload = encode_batch(self.source, batch_id, batch)
+        self._send(payload, now)
+        self.batches_sent += 1
+        self.records_sent += len(batch)
+        # A resend of the same leading seq is a retry, not fresh offer.
+        if batch[0].seq == self._last_lead_seq:
+            self.retries += 1
+        self._last_lead_seq = batch[0].seq
+        self._in_flight = _InFlight(
+            batch_id=batch_id,
+            max_seq=batch[-1].seq,
+            deadline=now + self.config.ack_timeout,
+        )
+        return True
+
+    def _on_timeout(self, now: int) -> None:
+        self.timeouts += 1
+        self.consecutive_failures += 1
+        self._in_flight = None
+        config = self.config
+        if (
+            self.circuit is CircuitState.HALF_OPEN
+            or self.consecutive_failures >= config.failure_threshold
+        ):
+            self.circuit = CircuitState.OPEN
+            self.circuit_opens += 1
+            self._reopen_at = now + config.cooldown
+            self._next_send_at = self._reopen_at
+            return
+        exponent = min(self.consecutive_failures - 1, 16)
+        delay = min(config.backoff_max, config.backoff_base << exponent)
+        jitter = int(self._rng.integers(0, config.backoff_base + 1))
+        self._next_send_at = now + delay + jitter
+
+    # ------------------------------------------------------------------
+    def on_ack(self, doc: dict, now: int) -> bool:
+        """Fold one decoded ack envelope; True when it made progress."""
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != ACK_SCHEMA
+            or doc.get("source") != self.source
+            or not isinstance(doc.get("ack_through"), int)
+        ):
+            return False
+        self.acks += 1
+        ack_through = doc["ack_through"]
+        released = self.spooler.ack_through(ack_through)
+        if released and self.on_acked is not None:
+            self.on_acked(released)
+        flight = self._in_flight
+        if flight is not None and ack_through >= flight.max_seq:
+            # The in-flight batch is durable fleet-side: reset failure
+            # state and allow an immediate next send.
+            self._in_flight = None
+            self.consecutive_failures = 0
+            self.circuit = CircuitState.CLOSED
+            self._next_send_at = now
+            return True
+        if not released:
+            self.stale_acks += 1
+        return bool(released)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "source": self.source,
+            "circuit": self.circuit.value,
+            "in_flight": self.in_flight,
+            "batches_sent": self.batches_sent,
+            "records_sent": self.records_sent,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "acks": self.acks,
+            "stale_acks": self.stale_acks,
+            "circuit_opens": self.circuit_opens,
+            "consecutive_failures": self.consecutive_failures,
+            "spool": self.spooler.stats(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<RetryingUplinkClient {self.source} circuit={self.circuit.value} "
+            f"pending={self.spooler.pending}>"
+        )

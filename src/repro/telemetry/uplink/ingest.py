@@ -1,0 +1,347 @@
+"""Fleet-side at-least-once ingestion with idempotent deduplication.
+
+The transport is allowed to deliver a batch zero, one, or five times,
+in any order.  :class:`UplinkIngestor` turns that into *exactly-once
+application* against the :class:`~repro.telemetry.service.TelemetryService`
+using one :class:`DedupWatermark` per source: a cumulative watermark
+(every seq at or below it has been seen) plus a bounded set of
+above-watermark seqs.  Duplicates therefore never double-count (m,k)
+misses, and reordered stale batches are absorbed silently.
+
+Durability follows the vehicle-side rule, mirrored: **append before
+ack**.  Fresh records and the per-batch watermark marker are written to
+an append-only :class:`~repro.telemetry.uplink.wal.RecordLog` and
+synced *before* the acknowledgment envelope is produced, so a fleet
+crash after an ack can always rebuild the acknowledged state:
+:meth:`UplinkIngestor.recover` restores the last atomic checkpoint
+(written with the usual ``tmp`` + ``os.replace`` dance) and replays the
+log *through the dedup layer*, which makes replay idempotent by
+construction -- replaying twice is the same as replaying once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.telemetry.records import SchemaVersionError, TelemetryRecord
+from repro.telemetry.service import ServiceConfig, TelemetryService
+from repro.telemetry.uplink.transport import (
+    BATCH_SCHEMA,
+    decode_batch,
+    decode_envelope,
+    encode_ack,
+)
+from repro.telemetry.uplink.wal import RecordLog
+
+#: Schema identifier of the durable ingest checkpoint document.
+CHECKPOINT_SCHEMA = "repro-uplink-checkpoint/1"
+
+
+class DedupWatermark:
+    """Exactly-once admission over an at-least-once record stream.
+
+    ``watermark`` is cumulative: every seq at or below it was admitted
+    (or explicitly skipped via :meth:`advance_to`).  Seqs above it that
+    have been seen wait in ``seen`` until the watermark sweeps past
+    them, so the structure stays small when delivery is mostly in
+    order -- the common case under a stop-and-wait client.
+    """
+
+    __slots__ = ("watermark", "seen", "admitted", "duplicates")
+
+    def __init__(self, watermark: int = -1):
+        self.watermark = watermark
+        self.seen: Set[int] = set()
+        self.admitted = 0
+        self.duplicates = 0
+
+    def admit(self, seq: int) -> bool:
+        """True exactly once per seq, however often it is offered."""
+        if seq <= self.watermark or seq in self.seen:
+            self.duplicates += 1
+            return False
+        self.seen.add(seq)
+        self.admitted += 1
+        while self.watermark + 1 in self.seen:
+            self.watermark += 1
+            self.seen.discard(self.watermark)
+        return True
+
+    def advance_to(self, seq: int) -> None:
+        """Declare every seq at or below *seq* settled.
+
+        Sound under the stop-and-wait client: a batch's records arrive
+        in spool (seq) order and anything below the batch is either
+        already admitted or evicted vehicle-side -- it will never be
+        offered again, so collapsing the window loses nothing.
+        """
+        if seq <= self.watermark:
+            return
+        self.watermark = seq
+        self.seen = {s for s in self.seen if s > seq}
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        return {
+            "watermark": self.watermark,
+            "seen": sorted(self.seen),
+            "admitted": self.admitted,
+            "duplicates": self.duplicates,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "DedupWatermark":
+        dedup = cls(int(data["watermark"]))
+        dedup.seen = set(data.get("seen", ()))
+        dedup.admitted = int(data.get("admitted", 0))
+        dedup.duplicates = int(data.get("duplicates", 0))
+        return dedup
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DedupWatermark wm={self.watermark} held={len(self.seen)} "
+            f"admitted={self.admitted} dup={self.duplicates}>"
+        )
+
+
+@dataclass
+class IngestRecoveryReport:
+    """What :meth:`UplinkIngestor.recover` rebuilt from disk."""
+
+    checkpoint_loaded: bool = False
+    replayed_records: int = 0
+    replayed_fresh: int = 0
+    replayed_markers: int = 0
+    truncated_lines: int = 0
+
+
+class UplinkIngestor:
+    """Batches in, acks out; durable before every acknowledgment."""
+
+    def __init__(
+        self,
+        service: TelemetryService,
+        directory: Path,
+        fsync: str = "rotate",
+        checkpoint_every: Optional[int] = 8,
+        _log: Optional[RecordLog] = None,
+    ):
+        if checkpoint_every is not None and checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1 or None")
+        self.service = service
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.checkpoint_every = checkpoint_every
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.log = _log if _log is not None else RecordLog(
+            self._wal_path(), fsync
+        )
+        self.dedup: Dict[str, DedupWatermark] = {}
+        self._since_checkpoint = 0
+        # Counters.
+        self.payloads = 0
+        self.corrupt_payloads = 0
+        self.foreign_payloads = 0
+        self.batches = 0
+        self.records_seen = 0
+        self.records_fresh = 0
+        self.records_duplicate = 0
+        self.acks_sent = 0
+        self.checkpoints = 0
+
+    # ------------------------------------------------------------------
+    def _wal_path(self) -> Path:
+        return self.directory / "ingest-wal.log"
+
+    def _checkpoint_path(self) -> Path:
+        return self.directory / "checkpoint.json"
+
+    def _dedup(self, source: str) -> DedupWatermark:
+        dedup = self.dedup.get(source)
+        if dedup is None:
+            dedup = self.dedup[source] = DedupWatermark()
+        return dedup
+
+    # ------------------------------------------------------------------
+    def handle_payload(self, payload: str, now: int = 0) -> Optional[str]:
+        """Process one uplink datagram; returns the ack payload or
+        ``None`` when the datagram was corrupt / not a batch (counted,
+        never silent)."""
+        self.payloads += 1
+        doc = decode_envelope(payload)
+        if doc is None:
+            self.corrupt_payloads += 1
+            return None
+        if doc.get("schema") != BATCH_SCHEMA or not isinstance(
+            doc.get("source"), str
+        ):
+            self.foreign_payloads += 1
+            return None
+        records = decode_batch(doc)
+        if records is None:
+            self.corrupt_payloads += 1
+            return None
+        source = doc["source"]
+        dedup = self._dedup(source)
+        self.batches += 1
+        self.records_seen += len(records)
+
+        fresh: List[TelemetryRecord] = []
+        for record in records:
+            if dedup.admit(record.seq):
+                fresh.append(record)
+            else:
+                self.records_duplicate += 1
+        if records:
+            batch_max = max(record.seq for record in records)
+            dedup.advance_to(batch_max)
+        # Durability before acknowledgment: fresh records plus the
+        # watermark marker hit the log and are synced first.
+        if fresh:
+            for record in fresh:
+                self.log.append_record(record)
+            self.records_fresh += len(fresh)
+        if records:
+            self.log.append_marker(source, dedup.watermark)
+        self.log.sync()
+        if fresh:
+            self.service.ingest_many(fresh)
+            self.service.pump()
+        self._since_checkpoint += 1
+        if (
+            self.checkpoint_every is not None
+            and self._since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        ack = encode_ack(
+            source, int(doc.get("batch_id", -1)), dedup.watermark
+        )
+        self.acks_sent += 1
+        return ack
+
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> None:
+        """Atomically persist store + dedup state, then truncate the
+        log (its contents are now folded into the checkpoint)."""
+        self.service.pump()
+        doc = {
+            "schema": CHECKPOINT_SCHEMA,
+            "store": self.service.snapshot(),
+            "dedup": {
+                source: dedup.to_json()
+                for source, dedup in sorted(self.dedup.items())
+            },
+        }
+        path = self._checkpoint_path()
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(doc, handle, separators=(",", ":"), sort_keys=True)
+            handle.flush()
+            if self.fsync != "never":
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        self.log.reset()
+        self.checkpoints += 1
+        self._since_checkpoint = 0
+
+    def close(self) -> None:
+        self.log.close()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        directory: Path,
+        service_config: Optional[ServiceConfig] = None,
+        fsync: str = "rotate",
+        checkpoint_every: Optional[int] = 8,
+    ) -> Tuple["UplinkIngestor", IngestRecoveryReport]:
+        """Rebuild an ingestor after a crash: checkpoint, then log
+        replay *through the dedup layer* (idempotent by construction)."""
+        directory = Path(directory)
+        report = IngestRecoveryReport()
+        service = TelemetryService(service_config)
+        dedup: Dict[str, DedupWatermark] = {}
+
+        checkpoint_path = directory / "checkpoint.json"
+        if checkpoint_path.exists():
+            data = json.loads(checkpoint_path.read_text(encoding="utf-8"))
+            if data.get("schema") != CHECKPOINT_SCHEMA:
+                raise SchemaVersionError(
+                    "uplink checkpoint", data.get("schema"), CHECKPOINT_SCHEMA
+                )
+            service.restore(data["store"])
+            dedup = {
+                source: DedupWatermark.from_json(state)
+                for source, state in data.get("dedup", {}).items()
+            }
+            report.checkpoint_loaded = True
+
+        log = RecordLog.open_existing(directory / "ingest-wal.log", fsync)
+        report.truncated_lines = log.truncated
+        for record, marker in log.replayed:
+            if record is not None:
+                report.replayed_records += 1
+                source_dedup = dedup.get(record.source)
+                if source_dedup is None:
+                    source_dedup = dedup[record.source] = DedupWatermark()
+                if source_dedup.admit(record.seq):
+                    service.ingest(record)
+                    report.replayed_fresh += 1
+            elif marker is not None:
+                source, seq = marker
+                source_dedup = dedup.get(source)
+                if source_dedup is None:
+                    source_dedup = dedup[source] = DedupWatermark()
+                source_dedup.advance_to(seq)
+                report.replayed_markers += 1
+        service.pump()
+
+        ingestor = cls(
+            service, directory, fsync=fsync,
+            checkpoint_every=checkpoint_every, _log=log,
+        )
+        ingestor.dedup = dedup
+        return ingestor, report
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        return {
+            "payloads": self.payloads,
+            "corrupt_payloads": self.corrupt_payloads,
+            "foreign_payloads": self.foreign_payloads,
+            "batches": self.batches,
+            "records_seen": self.records_seen,
+            "records_fresh": self.records_fresh,
+            "records_duplicate": self.records_duplicate,
+            "acks_sent": self.acks_sent,
+            "checkpoints": self.checkpoints,
+            "sources": {
+                source: dedup.to_json()
+                for source, dedup in sorted(self.dedup.items())
+            },
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<UplinkIngestor sources={len(self.dedup)} "
+            f"fresh={self.records_fresh} dup={self.records_duplicate}>"
+        )
+
+
+def store_digest(service: TelemetryService) -> str:
+    """Canonical content digest of a service's store state.
+
+    Per-source/per-key snapshots are invariant under cross-source
+    delivery interleavings that preserve per-source order, so two
+    services that applied the same record set converge to one digest.
+    """
+    service.pump()
+    body = json.dumps(service.snapshot(), separators=(",", ":"),
+                      sort_keys=True)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()

@@ -1,0 +1,267 @@
+"""Uplink wire envelopes and the adversarial transport channel.
+
+The uplink speaks two CRC-framed JSON envelopes over an unreliable
+datagram channel:
+
+- a **batch** (vehicle -> fleet): ``repro-uplink-batch/1`` carrying an
+  ordered slice of spooled wire records, and
+- an **ack** (fleet -> vehicle): ``repro-uplink-ack/1`` carrying the
+  per-source *cumulative* acknowledgment watermark (every spooled seq
+  at or below it is durable fleet-side).
+
+:class:`AdversarialChannel` is the simulated link the chaos harness
+(and any test) runs these envelopes through.  It reuses the network
+layer's :class:`~repro.network.link.Frame` as the in-flight unit and
+:class:`~repro.network.link.JitterModel` for delay sampling, and plays
+the fault-injection campaign's role of ground truth: every fault it
+injects (drop, duplicate, reorder, corrupt, partition) is drawn from a
+seeded ``numpy`` stream, counted in :class:`ChannelStats`, and recorded
+as :class:`~repro.faults.base.Injection` entries -- deterministic and
+auditable, in the idiom of :mod:`repro.faults.injectors`.
+
+Time is a bare integer step counter supplied by the driver -- no wall
+clock anywhere, so every interleaving is replayable.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.faults.base import Injection
+from repro.network.link import Frame, JitterModel
+from repro.telemetry.records import TelemetryRecord
+
+#: Envelope schema identifiers.
+BATCH_SCHEMA = "repro-uplink-batch/1"
+ACK_SCHEMA = "repro-uplink-ack/1"
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+def encode_envelope(doc: dict) -> str:
+    """Serialize *doc* with a leading CRC so corruption is detectable."""
+    body = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x}:{body}"
+
+
+def decode_envelope(payload: str) -> Optional[dict]:
+    """Inverse of :func:`encode_envelope`; ``None`` on any damage."""
+    if not isinstance(payload, str) or len(payload) < 10 or payload[8] != ":":
+        return None
+    body = payload[9:]
+    try:
+        crc = int(payload[:8], 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        doc = json.loads(body)
+    except ValueError:
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def encode_batch(
+    source: str, batch_id: int, records: Sequence[TelemetryRecord]
+) -> str:
+    """One uplink batch envelope (records stay in spool order)."""
+    return encode_envelope({
+        "schema": BATCH_SCHEMA,
+        "source": source,
+        "batch_id": batch_id,
+        "records": [list(record.to_wire()) for record in records],
+    })
+
+
+def decode_batch(doc: dict) -> Optional[List[TelemetryRecord]]:
+    """Rebuild the record list of a decoded batch envelope."""
+    try:
+        return [
+            TelemetryRecord.from_wire(tuple(fields))
+            for fields in doc["records"]
+        ]
+    except (KeyError, TypeError, ValueError):
+        return None
+
+
+def encode_ack(source: str, batch_id: int, ack_through: int) -> str:
+    """One cumulative acknowledgment envelope."""
+    return encode_envelope({
+        "schema": ACK_SCHEMA,
+        "source": source,
+        "batch_id": batch_id,
+        "ack_through": ack_through,
+    })
+
+
+# ----------------------------------------------------------------------
+# Fault plan
+# ----------------------------------------------------------------------
+@dataclass
+class ChannelFaultPlan:
+    """Adversarial behavior of one channel direction.
+
+    Probabilities are i.i.d. per frame from the channel's seeded RNG;
+    ``partitions`` are ``[start, end)`` step windows during which the
+    channel delivers *nothing* (both the blunt instrument and the only
+    deterministic-by-schedule fault, mirroring the injector catalogue's
+    window idiom).
+    """
+
+    drop_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    corrupt_prob: float = 0.0
+    #: Extra delivery delay (steps) a reordered frame suffers.
+    reorder_extra: int = 5
+    #: Uniform jitter amplitude (steps) added to every delivery.
+    jitter_steps: int = 0
+    partitions: Tuple[Tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("drop_prob", "dup_prob", "reorder_prob", "corrupt_prob"):
+            value = getattr(self, name)
+            if not (0.0 <= value < 1.0):
+                raise ValueError(f"{name} must be in [0, 1), got {value}")
+        for start, end in self.partitions:
+            if end <= start:
+                raise ValueError(f"empty partition window [{start}, {end})")
+
+    def partitioned(self, step: int) -> bool:
+        return any(start <= step < end for start, end in self.partitions)
+
+    @property
+    def adversarial(self) -> bool:
+        return bool(
+            self.drop_prob or self.dup_prob or self.reorder_prob
+            or self.corrupt_prob or self.partitions
+        )
+
+
+@dataclass
+class ChannelStats:
+    """Cumulative per-channel counters (ground truth for the ledger)."""
+
+    offered: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    reordered: int = 0
+    corrupted: int = 0
+    partition_dropped: int = 0
+    #: Frames that arrived while the receiving endpoint was crashed.
+    dead_letter: int = 0
+
+    def to_json(self) -> dict:
+        return dict(self.__dict__)
+
+
+# ----------------------------------------------------------------------
+# The channel
+# ----------------------------------------------------------------------
+class AdversarialChannel:
+    """A lossy, duplicating, reordering, corrupting datagram channel.
+
+    ``deliver(frame, now)`` is invoked for each frame whose delivery
+    step has come (during :meth:`step`).  Determinism: the RNG stream
+    is seeded from the channel name (crc32, never ``hash``) xor the
+    run seed, matching the load generator's convention.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        deliver: Callable[[Frame, int], None],
+        plan: Optional[ChannelFaultPlan] = None,
+        seed: int = 0,
+        base_delay: int = 1,
+    ):
+        if base_delay < 1:
+            raise ValueError("base_delay must be >= 1 step")
+        self.name = name
+        self.deliver = deliver
+        self.plan = plan or ChannelFaultPlan()
+        self.base_delay = int(base_delay)
+        self.stats = ChannelStats()
+        self._rng = np.random.default_rng(
+            (seed * 0x9E3779B1 + zlib.crc32(name.encode())) & 0xFFFFFFFF
+        )
+        self._jitter = JitterModel(
+            "uniform" if self.plan.jitter_steps else "none",
+            self.plan.jitter_steps,
+        )
+        #: (deliver_at, tie-break order, frame) min-heap.
+        self._inflight: List[Tuple[int, int, Frame]] = []
+        self._order = 0
+        self.injections: List[Injection] = [
+            Injection(kind="partition", target=name,
+                      start_ns=start, end_ns=end)
+            for start, end in self.plan.partitions
+        ]
+
+    # ------------------------------------------------------------------
+    def send(self, payload: str, src: str, dst: str, now: int) -> bool:
+        """Offer one datagram; False when the channel ate it."""
+        plan = self.plan
+        rng = self._rng
+        self.stats.offered += 1
+        if plan.partitioned(now):
+            self.stats.partition_dropped += 1
+            return False
+        if plan.drop_prob and rng.random() < plan.drop_prob:
+            self.stats.dropped += 1
+            return False
+        if plan.corrupt_prob and rng.random() < plan.corrupt_prob:
+            payload = self._corrupt(payload)
+            self.stats.corrupted += 1
+        delay = self.base_delay + self._jitter.sample(rng)
+        if plan.reorder_prob and rng.random() < plan.reorder_prob:
+            delay += plan.reorder_extra
+            self.stats.reordered += 1
+        self._push(payload, src, dst, now + delay)
+        if plan.dup_prob and rng.random() < plan.dup_prob:
+            self.stats.duplicated += 1
+            self._push(payload, src, dst,
+                       now + delay + 1 + self._jitter.sample(rng))
+        return True
+
+    def _corrupt(self, payload: str) -> str:
+        index = int(self._rng.integers(0, len(payload)))
+        flip = "#" if payload[index] != "#" else "*"
+        return payload[:index] + flip + payload[index + 1:]
+
+    def _push(self, payload: str, src: str, dst: str, at: int) -> None:
+        frame = Frame(payload=payload, size_bytes=len(payload),
+                      src=src, dst=dst, seq=self._order)
+        self._order += 1
+        heapq.heappush(self._inflight, (at, frame.seq, frame))
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> int:
+        """Deliver every frame due at or before *now*; returns count."""
+        delivered = 0
+        inflight = self._inflight
+        while inflight and inflight[0][0] <= now:
+            _, _, frame = heapq.heappop(inflight)
+            self.stats.delivered += 1
+            self.deliver(frame, now)
+            delivered += 1
+        return delivered
+
+    def pending(self) -> int:
+        return len(self._inflight)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<AdversarialChannel {self.name} inflight={len(self._inflight)} "
+            f"offered={self.stats.offered}>"
+        )

@@ -1,0 +1,627 @@
+"""Durable write-ahead spooling for the vehicle-side uplink.
+
+The cardinal rule mirrors the ingest pipeline's ("no silent drops"),
+extended across process death: **append before emit**.  A telemetry
+record is written to a write-ahead log -- CRC-framed line in a rotating
+segment file, flushed, optionally fsynced -- *before* the transport is
+allowed to see it.  A record therefore exists in exactly one of four
+places at any time, which is the uplink's ledger law::
+
+    offered == acked + spooled + evicted
+
+- *spooled*: durable in a WAL segment, not yet acknowledged;
+- *acked*: the fleet service acknowledged it, the spool released it;
+- *evicted*: the bounded disk budget forced the oldest records out --
+  counted and reported through :attr:`WalSpooler.on_evict`, never
+  silent.
+
+Two log flavors live here:
+
+- :class:`WalSpooler` -- the vehicle side.  Seq-indexed (per-source
+  monotone), supports cumulative acknowledgment (``ack_through``),
+  segment-file rotation, a bounded disk budget with oldest-first
+  eviction, and :meth:`WalSpooler.recover` crash recovery that
+  tolerates a torn tail line (a mid-write crash) by truncating it --
+  counted -- while any *mid-file* damage raises
+  :class:`WalCorruptionError` loudly.
+- :class:`RecordLog` -- the fleet side.  A plain append-only record log
+  (records from many sources, plus watermark markers) that the ingestor
+  appends to *before acknowledging* and truncates at each durable
+  checkpoint.
+
+Both share one line format: ``crc32(body):body`` where ``body`` is the
+record's compact JSON wire line, so corruption is detected per line.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.telemetry.records import (
+    SchemaVersionError,
+    TelemetryRecord,
+    WIRE_FIELDS,
+)
+
+#: Schema identifier written into every WAL segment header.
+WAL_SCHEMA = "repro-uplink-wal/1"
+
+#: Schema of the acknowledgment-watermark sidecar file.
+WAL_MARK_SCHEMA = "repro-uplink-walmark/1"
+
+#: First element of a watermark marker entry in a :class:`RecordLog`.
+MARKER_TAG = "~wm"
+
+#: Accepted fsync policies.
+FSYNC_POLICIES = ("always", "rotate", "never")
+
+
+class WalCorruptionError(RuntimeError):
+    """Mid-file WAL damage (not a torn tail): refuse to guess."""
+
+
+# ----------------------------------------------------------------------
+# Line framing
+# ----------------------------------------------------------------------
+def encode_entry(body: str) -> str:
+    """CRC-frame one JSON body as a WAL line (no trailing newline)."""
+    crc = zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF
+    return f"{crc:08x}:{body}"
+
+
+def decode_entry(line: str) -> Optional[list]:
+    """Parse a CRC-framed line; ``None`` when torn or corrupt."""
+    if len(line) < 10 or line[8] != ":":
+        return None
+    body = line[9:]
+    try:
+        crc = int(line[:8], 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        fields = json.loads(body)
+    except ValueError:
+        return None
+    return fields if isinstance(fields, list) else None
+
+
+def _entry_to_record(fields: list) -> Optional[TelemetryRecord]:
+    if len(fields) != WIRE_FIELDS:
+        return None
+    try:
+        return TelemetryRecord.from_wire(tuple(fields))
+    except ValueError:
+        return None
+
+
+# ----------------------------------------------------------------------
+# Configuration / reports
+# ----------------------------------------------------------------------
+@dataclass
+class WalConfig:
+    """Shape and durability policy of one spool directory."""
+
+    directory: Path
+    #: ``always`` -- fsync every append (safest, slowest);
+    #: ``rotate`` -- fsync when a segment closes; ``never`` -- flush only.
+    fsync: str = "rotate"
+    #: Records per segment file before rotation.
+    segment_max_records: int = 256
+    #: Total disk budget in bytes (None: unbounded).  When exceeded the
+    #: oldest *closed* segment is evicted -- counted, never silent.
+    max_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.directory = Path(self.directory)
+        if self.fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {self.fsync!r}"
+            )
+        if self.segment_max_records < 1:
+            raise ValueError("segment_max_records must be >= 1")
+        if self.max_bytes is not None and self.max_bytes < 1:
+            raise ValueError("max_bytes must be >= 1 or None")
+
+
+@dataclass
+class RecoveryReport:
+    """What :meth:`WalSpooler.recover` found on disk."""
+
+    segments: int = 0
+    #: Records still pending (unacked) after replay.
+    pending: int = 0
+    #: Torn tail lines dropped (mid-write crash artifacts).
+    truncated_lines: int = 0
+    #: Highest seq ever appended (resume point: next append > this).
+    last_seq: int = -1
+    #: Persisted cumulative acknowledgment watermark.
+    ack_through: int = -1
+
+
+class _Segment:
+    """In-memory mirror of one WAL segment file."""
+
+    __slots__ = ("index", "path", "records", "nbytes", "max_seq", "closed")
+
+    def __init__(self, index: int, path: Path):
+        self.index = index
+        self.path = path
+        #: Pending (not yet acked/evicted) records, in append order.
+        self.records: List[TelemetryRecord] = []
+        self.nbytes = 0
+        #: Highest seq ever written to the file (survives mirror pops).
+        self.max_seq = -1
+        self.closed = False
+
+
+# ----------------------------------------------------------------------
+# Vehicle-side spooler
+# ----------------------------------------------------------------------
+class WalSpooler:
+    """Append-before-emit spool over rotating CRC-framed segment files.
+
+    Create fresh with :meth:`open_fresh` (empty directory) or rebuild
+    after a crash with :meth:`recover`.  Counters (``appended``,
+    ``acked``, ``evicted``, ``truncated``) cover the current process
+    life; cross-crash accounting is the caller's ledger, fed by the
+    return value of :meth:`ack_through` and the :attr:`on_evict` hook.
+    """
+
+    def __init__(self, config: WalConfig, source: str,
+                 _from_recover: bool = False):
+        self.config = config
+        self.source = source
+        self.segments: List[_Segment] = []
+        self._file = None
+        self._next_index = 0
+        self.last_seq = -1
+        self.ack_mark = -1
+        self.appended = 0
+        self.acked = 0
+        self.evicted = 0
+        self.truncated = 0
+        #: Called with the list of pending records an eviction removed.
+        self.on_evict: Optional[Callable[[List[TelemetryRecord]], None]] = None
+        if not _from_recover:
+            config.directory.mkdir(parents=True, exist_ok=True)
+            if list(config.directory.glob("wal-*.log")):
+                raise FileExistsError(
+                    f"{config.directory} already holds WAL segments; "
+                    f"use WalSpooler.recover()"
+                )
+            self._open_segment()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_fresh(cls, config: WalConfig, source: str) -> "WalSpooler":
+        """A new spool in an empty (or freshly created) directory."""
+        return cls(config, source)
+
+    # ------------------------------------------------------------------
+    def _segment_path(self, index: int) -> Path:
+        return self.config.directory / f"wal-{index:08d}.log"
+
+    def _mark_path(self) -> Path:
+        return self.config.directory / "ackmark.json"
+
+    def _open_segment(self) -> None:
+        segment = _Segment(self._next_index, self._segment_path(self._next_index))
+        self._next_index += 1
+        header = json.dumps(
+            {"schema": WAL_SCHEMA, "segment": segment.index,
+             "source": self.source},
+            separators=(",", ":"), sort_keys=True,
+        )
+        self._file = open(segment.path, "a", encoding="utf-8")
+        self._file.write(header + "\n")
+        self._file.flush()
+        segment.nbytes = len(header) + 1
+        self.segments.append(segment)
+
+    def _active(self) -> _Segment:
+        return self.segments[-1]
+
+    def _fsync(self) -> None:
+        os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Records appended but neither acked nor evicted."""
+        return sum(len(segment.records) for segment in self.segments)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(segment.nbytes for segment in self.segments)
+
+    def pending_records(
+        self, limit: Optional[int] = None
+    ) -> List[TelemetryRecord]:
+        """The oldest pending records, in seq order (send order)."""
+        out: List[TelemetryRecord] = []
+        for segment in self.segments:
+            for record in segment.records:
+                out.append(record)
+                if limit is not None and len(out) >= limit:
+                    return out
+        return out
+
+    def pending_seqs(self) -> List[int]:
+        return [r.seq for s in self.segments for r in s.records]
+
+    # ------------------------------------------------------------------
+    def append(self, record: TelemetryRecord) -> None:
+        """Durably spool one record (must carry a fresh, higher seq)."""
+        if record.seq <= self.last_seq:
+            raise ValueError(
+                f"seq must increase: {record.seq} after {self.last_seq}"
+            )
+        line = encode_entry(record.encode_line())
+        self._file.write(line + "\n")
+        self._file.flush()
+        if self.config.fsync == "always":
+            self._fsync()
+        segment = self._active()
+        segment.records.append(record)
+        segment.nbytes += len(line) + 1
+        segment.max_seq = record.seq
+        self.last_seq = record.seq
+        self.appended += 1
+        if len(segment.records) >= self.config.segment_max_records:
+            self._rotate()
+        self._enforce_budget()
+
+    def _rotate(self) -> None:
+        self._file.flush()
+        if self.config.fsync in ("always", "rotate"):
+            self._fsync()
+        self._file.close()
+        self._active().closed = True
+        self._open_segment()
+
+    def _enforce_budget(self) -> None:
+        budget = self.config.max_bytes
+        if budget is None:
+            return
+        while self.total_bytes > budget:
+            victim = next((s for s in self.segments if s.closed), None)
+            if victim is None:
+                return  # only the active segment left: exempt
+            lost = victim.records
+            self.segments.remove(victim)
+            victim.path.unlink(missing_ok=True)
+            self.evicted += len(lost)
+            if lost and self.on_evict is not None:
+                self.on_evict(lost)
+
+    # ------------------------------------------------------------------
+    def ack_through(self, seq: int) -> List[TelemetryRecord]:
+        """Release every pending record with ``record.seq <= seq``.
+
+        Returns the released records; persists the watermark so a
+        recovery never resurrects acknowledged records.  Stale (lower)
+        watermarks are no-ops -- acks are cumulative.
+        """
+        if seq <= self.ack_mark:
+            return []
+        released: List[TelemetryRecord] = []
+        for segment in list(self.segments):
+            if segment.records and segment.records[0].seq <= seq:
+                keep = [r for r in segment.records if r.seq > seq]
+                released.extend(
+                    r for r in segment.records if r.seq <= seq
+                )
+                segment.records = keep
+            if segment.closed and segment.max_seq <= seq:
+                segment.path.unlink(missing_ok=True)
+                self.segments.remove(segment)
+        self.ack_mark = seq
+        self._write_mark()
+        self.acked += len(released)
+        return released
+
+    def _write_mark(self) -> None:
+        path = self._mark_path()
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(
+                {"schema": WAL_MARK_SCHEMA, "ack_through": self.ack_mark},
+                handle,
+            )
+            handle.flush()
+            if self.config.fsync != "never":
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        if self._file is not None and not self._file.closed:
+            self._file.flush()
+            if self.config.fsync != "never":
+                self._fsync()
+            self._file.close()
+
+    def stats(self) -> dict:
+        return {
+            "pending": self.pending,
+            "segments": len(self.segments),
+            "bytes": self.total_bytes,
+            "appended": self.appended,
+            "acked": self.acked,
+            "evicted": self.evicted,
+            "truncated": self.truncated,
+            "last_seq": self.last_seq,
+            "ack_through": self.ack_mark,
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls, config: WalConfig, source: str
+    ) -> Tuple["WalSpooler", RecoveryReport]:
+        """Rebuild a spool from its directory after a crash.
+
+        A torn *tail* line of the *last* segment (the only line a
+        mid-write crash can damage) is physically truncated away and
+        counted; damage anywhere else raises
+        :class:`WalCorruptionError`.  Records at or below the persisted
+        ack watermark are not resurrected.
+        """
+        spooler = cls(config, source, _from_recover=True)
+        report = RecoveryReport()
+        config.directory.mkdir(parents=True, exist_ok=True)
+        paths = sorted(config.directory.glob("wal-*.log"))
+        spooler.ack_mark = cls._read_mark(config.directory)
+        report.ack_through = spooler.ack_mark
+        last_seq = spooler.ack_mark
+
+        for file_no, path in enumerate(paths):
+            is_last = file_no == len(paths) - 1
+            segment, seqs, dropped = cls._read_segment(
+                path, source, is_last=is_last
+            )
+            report.truncated_lines += dropped
+            spooler.truncated += dropped
+            if segment is None:
+                continue  # torn header on the last file: removed
+            if seqs:
+                last_seq = max(last_seq, seqs[-1])
+            segment.records = [
+                r for r in segment.records if r.seq > spooler.ack_mark
+            ]
+            segment.closed = True
+            spooler.segments.append(segment)
+
+        spooler.last_seq = last_seq
+        if spooler.segments:
+            spooler._next_index = spooler.segments[-1].index + 1
+        # Resume appends: reopen the last segment if it has room,
+        # otherwise start a new one.
+        tail = spooler.segments[-1] if spooler.segments else None
+        if (
+            tail is not None
+            and len(tail.records) < config.segment_max_records
+            and tail.path.exists()
+        ):
+            tail.closed = False
+            spooler._file = open(tail.path, "a", encoding="utf-8")
+        else:
+            spooler._open_segment()
+        report.segments = len(spooler.segments)
+        report.pending = spooler.pending
+        report.last_seq = spooler.last_seq
+        return spooler, report
+
+    @staticmethod
+    def _read_mark(directory: Path) -> int:
+        path = directory / "ackmark.json"
+        if not path.exists():
+            return -1
+        try:
+            data = json.loads(path.read_text())
+        except ValueError:
+            return -1  # torn sidecar: fall back to re-acking duplicates
+        if data.get("schema") != WAL_MARK_SCHEMA:
+            raise SchemaVersionError("WAL ack mark", data.get("schema"),
+                                     WAL_MARK_SCHEMA)
+        return int(data["ack_through"])
+
+    @staticmethod
+    def _read_segment(
+        path: Path, source: str, is_last: bool
+    ) -> Tuple[Optional[_Segment], List[int], int]:
+        """Parse one segment file -> (segment, seqs seen, torn lines).
+
+        Repairs a torn tail in place (truncate); ``segment is None``
+        when the last file's *header* was torn (file removed).
+        """
+        raw = path.read_bytes()
+        text = raw.decode("utf-8", errors="replace")
+        lines = text.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        index = int(path.stem.split("-")[1])
+        segment = _Segment(index, path)
+
+        # Header line.
+        header: Optional[dict] = None
+        if lines:
+            try:
+                parsed = json.loads(lines[0])
+                header = parsed if isinstance(parsed, dict) else None
+            except ValueError:
+                header = None
+        if header is None:
+            if is_last:
+                path.unlink(missing_ok=True)
+                return None, [], 1
+            raise WalCorruptionError(f"{path}: unreadable segment header")
+        if header.get("schema") != WAL_SCHEMA:
+            raise SchemaVersionError(str(path), header.get("schema"),
+                                     WAL_SCHEMA)
+
+        seqs: List[int] = []
+        kept_bytes = len(lines[0].encode("utf-8")) + 1
+        dropped = 0
+        for line_no, line in enumerate(lines[1:], start=2):
+            fields = decode_entry(line)
+            record = _entry_to_record(fields) if fields is not None else None
+            if record is None:
+                at_tail = is_last and line_no == len(lines)
+                if not at_tail:
+                    raise WalCorruptionError(
+                        f"{path}:{line_no}: corrupt WAL entry mid-file"
+                    )
+                # Torn tail: physically truncate the damaged line away.
+                with open(path, "r+b") as handle:
+                    handle.truncate(kept_bytes)
+                dropped = 1
+                break
+            segment.records.append(record)
+            segment.max_seq = record.seq
+            seqs.append(record.seq)
+            kept_bytes += len(line.encode("utf-8")) + 1
+        segment.nbytes = kept_bytes
+        return segment, seqs, dropped
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<WalSpooler {self.source} pending={self.pending} "
+            f"segments={len(self.segments)} ack={self.ack_mark}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fleet-side append-before-ack log
+# ----------------------------------------------------------------------
+class RecordLog:
+    """Plain append-only record log with watermark markers.
+
+    The ingestor appends every *fresh* record here (then the per-batch
+    watermark marker) before acknowledging the batch, and calls
+    :meth:`reset` after each durable checkpoint folds the log's
+    contents into the snapshot.  :meth:`open_existing` replays the log
+    after a crash, tolerating (and truncating) a torn tail line.
+    """
+
+    def __init__(self, path: Path, fsync: str = "rotate",
+                 _replay: bool = False):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}"
+            )
+        self.path = Path(path)
+        self.fsync = fsync
+        self.entries = 0
+        self.truncated = 0
+        #: Replayed (record, None) / (None, (source, seq)) entries --
+        #: populated by :meth:`open_existing` only.
+        self.replayed: List[
+            Tuple[Optional[TelemetryRecord], Optional[Tuple[str, int]]]
+        ] = []
+        if not _replay:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._file = open(self.path, "w", encoding="utf-8")
+            self._write_header()
+
+    def _write_header(self) -> None:
+        header = json.dumps(
+            {"schema": WAL_SCHEMA, "segment": 0, "source": "*fleet*"},
+            separators=(",", ":"), sort_keys=True,
+        )
+        self._file.write(header + "\n")
+        self._file.flush()
+
+    # ------------------------------------------------------------------
+    def append_record(self, record: TelemetryRecord) -> None:
+        self._file.write(encode_entry(record.encode_line()) + "\n")
+        self.entries += 1
+
+    def append_marker(self, source: str, seq: int) -> None:
+        body = json.dumps([MARKER_TAG, source, seq], separators=(",", ":"))
+        self._file.write(encode_entry(body) + "\n")
+        self.entries += 1
+
+    def sync(self) -> None:
+        """Make appended entries durable per the fsync policy."""
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+
+    def reset(self) -> None:
+        """Truncate after a checkpoint absorbed every entry."""
+        self._file.close()
+        self._file = open(self.path, "w", encoding="utf-8")
+        self._write_header()
+        if self.fsync != "never":
+            os.fsync(self._file.fileno())
+        self.entries = 0
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.flush()
+            if self.fsync != "never":
+                os.fsync(self._file.fileno())
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def open_existing(cls, path: Path, fsync: str = "rotate") -> "RecordLog":
+        """Replay an existing log (crash recovery); creates if absent."""
+        path = Path(path)
+        if not path.exists():
+            return cls(path, fsync)
+        log = cls(path, fsync, _replay=True)
+        raw = path.read_text(encoding="utf-8", errors="replace")
+        lines = raw.split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            return cls(path, fsync)
+        try:
+            header = json.loads(lines[0])
+        except ValueError:
+            header = None
+        if not isinstance(header, dict):
+            raise WalCorruptionError(f"{path}: unreadable log header")
+        if header.get("schema") != WAL_SCHEMA:
+            raise SchemaVersionError(str(path), header.get("schema"),
+                                     WAL_SCHEMA)
+        kept = len(lines[0].encode("utf-8")) + 1
+        for line_no, line in enumerate(lines[1:], start=2):
+            fields = decode_entry(line)
+            entry = None
+            if fields is not None:
+                if (
+                    len(fields) == 3 and fields[0] == MARKER_TAG
+                    and isinstance(fields[2], int)
+                ):
+                    entry = (None, (fields[1], fields[2]))
+                else:
+                    record = _entry_to_record(fields)
+                    if record is not None:
+                        entry = (record, None)
+            if entry is None:
+                if line_no != len(lines):
+                    raise WalCorruptionError(
+                        f"{path}:{line_no}: corrupt log entry mid-file"
+                    )
+                with open(path, "r+b") as handle:
+                    handle.truncate(kept)
+                log.truncated = 1
+                break
+            log.replayed.append(entry)
+            log.entries += 1
+            kept += len(line.encode("utf-8")) + 1
+        log._file = open(path, "a", encoding="utf-8")
+        return log
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RecordLog {self.path.name} entries={self.entries}>"

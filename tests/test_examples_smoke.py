@@ -36,6 +36,12 @@ class TestExamples:
         assert "exceptions: [50, 51, 120]" in out
         assert "monitor latency" in out
 
+    def test_telemetry_uplink(self):
+        out = run_example("telemetry_uplink.py")
+        assert "truncated_lines=1" in out
+        assert "store digest matches the fault-free reference" in out
+        assert "VIOLATED" not in out
+
     def test_examples_exist_and_have_docstrings(self):
         expected = {
             "quickstart.py",
@@ -45,6 +51,8 @@ class TestExamples:
             "real_ipc_monitor.py",
             "fault_campaign.py",
             "parallel_campaign.py",
+            "telemetry_fleet.py",
+            "telemetry_uplink.py",
         }
         found = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= found

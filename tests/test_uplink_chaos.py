@@ -1,0 +1,150 @@
+"""Chaos harness: scenario sweep invariants, determinism, CLI."""
+
+import json
+
+import pytest
+
+from repro.telemetry.uplink.chaos import (
+    ChaosConfig,
+    ChaosDriver,
+    ChaosScenario,
+    CrashEvent,
+    default_scenarios,
+    main,
+    run_chaos,
+)
+from repro.telemetry.uplink.transport import ChannelFaultPlan
+
+
+def _quick_config(**kwargs):
+    kwargs.setdefault("vehicles", 2)
+    kwargs.setdefault("frames", 8)
+    kwargs.setdefault("fsync", "never")
+    return ChaosConfig(**kwargs)
+
+
+def _by_name(name):
+    return next(s for s in default_scenarios() if s.name == name)
+
+
+class TestScenarios:
+    def test_default_sweep_covers_every_fault_class_and_crash_points(self):
+        scenarios = {s.name: s for s in default_scenarios()}
+        for fault in ("drop", "duplicate", "reorder", "corrupt", "partition"):
+            assert fault in scenarios
+        vehicle = [
+            e for s in scenarios.values() for e in s.crashes
+            if e.side == "vehicle"
+        ]
+        server = [
+            e for s in scenarios.values() for e in s.crashes
+            if e.side == "server"
+        ]
+        assert len({e.step for e in vehicle}) >= 3
+        assert len({e.step for e in server}) >= 3
+        assert any(e.torn_tail for e in vehicle)
+        assert scenarios["eviction"].expect_evictions
+
+    def test_full_quick_sweep_passes(self, tmp_path):
+        report = run_chaos(
+            _quick_config(), default_scenarios(), workdir=tmp_path
+        )
+        failures = [s["name"] for s in report["scenarios"] if not s["ok"]]
+        assert report["ok"], f"failing scenarios: {failures}"
+        assert len(report["scenarios"]) == len(default_scenarios())
+
+    def test_ledger_balances_under_mixed_chaos(self, tmp_path):
+        result = ChaosDriver(
+            _by_name("chaos_mixed"), _quick_config(), tmp_path
+        ).run()
+        assert result.ok
+        for source, entry in result.ledger.items():
+            assert entry["balanced"], (source, entry)
+            assert entry["offered"] == (
+                entry["acked"] + entry["spooled"] + entry["evicted"]
+            )
+
+    def test_eviction_scenario_counts_losses(self, tmp_path):
+        result = ChaosDriver(
+            _by_name("eviction"), _quick_config(), tmp_path
+        ).run()
+        assert result.ok
+        evicted = sum(e["evicted"] for e in result.ledger.values())
+        assert evicted > 0
+        # Evicted records are the only ones missing from the fleet side.
+        for entry in result.ledger.values():
+            assert entry["spooled"] == 0
+            assert entry["acked"] + entry["evicted"] == entry["offered"]
+
+    def test_crash_scenarios_actually_crash_and_recover(self, tmp_path):
+        # Enough frames that the spool is still busy at every crash
+        # point -- otherwise the torn-tail kill has nothing to tear.
+        vehicle = ChaosDriver(
+            _by_name("vehicle_crash"), _quick_config(frames=24),
+            tmp_path / "v",
+        ).run()
+        assert vehicle.ok
+        assert vehicle.recoveries["vehicles"], "no vehicle ever recovered"
+        assert any(
+            entry["truncated_lines"] > 0
+            for entry in vehicle.recoveries["vehicles"].values()
+        ), "the torn-tail crash point never tore a tail"
+        server = ChaosDriver(
+            _by_name("server_crash"), _quick_config(), tmp_path / "s"
+        ).run()
+        assert server.ok
+        assert server.recoveries["server"] == 3
+
+    def test_sweep_is_deterministic(self, tmp_path):
+        scenario = _by_name("chaos_mixed")
+        first = ChaosDriver(scenario, _quick_config(), tmp_path / "a").run()
+        second = ChaosDriver(scenario, _quick_config(), tmp_path / "b").run()
+        assert first.to_json() == second.to_json()
+
+    def test_unhealable_fault_is_detected_not_masked(self, tmp_path):
+        """Sanity that the checks can fail: a permanent one-way
+        partition must show up as non-convergence, not a pass."""
+        scenario = ChaosScenario(
+            name="dead_uplink",
+            up=ChannelFaultPlan(partitions=((0, 10_000),)),
+            check_digest=False,
+        )
+        result = ChaosDriver(
+            scenario, _quick_config(max_steps=120), tmp_path
+        ).run()
+        assert not result.ok
+        assert any(
+            c["name"] == "converged" and not c["ok"] for c in result.checks
+        )
+
+
+class TestCli:
+    def test_cli_smoke_writes_report(self, tmp_path, capsys):
+        report_path = tmp_path / "out" / "chaos.json"
+        code = main([
+            "--quick", "--frames", "8",
+            "--scenario", "baseline", "--scenario", "drop",
+            "--report", str(report_path), "--dir", str(tmp_path / "work"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ALL PASS" in out
+        report = json.loads(report_path.read_text())
+        assert report["schema"] == "repro-chaos-report/1"
+        assert [s["name"] for s in report["scenarios"]] == ["baseline", "drop"]
+
+    def test_cli_list_and_unknown_scenario(self, capsys):
+        assert main(["--list"]) == 0
+        assert "eviction" in capsys.readouterr().out
+        with pytest.raises(SystemExit):
+            main(["--scenario", "no-such-scenario"])
+
+
+class TestCrashEventValidation:
+    def test_rejects_bad_side_and_steps(self):
+        with pytest.raises(ValueError):
+            CrashEvent(step=1, side="sideways")
+        with pytest.raises(ValueError):
+            CrashEvent(step=-1, side="server")
+        with pytest.raises(ValueError):
+            CrashEvent(step=1, side="server", down_for=0)

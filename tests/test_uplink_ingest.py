@@ -1,0 +1,237 @@
+"""Fleet-side ingestion: dedup watermark exactly-once property,
+append-before-ack durability, checkpoint + WAL-replay recovery."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.records import (
+    RecordKind,
+    SchemaVersionError,
+    TelemetryRecord,
+)
+from repro.telemetry.service import ServiceConfig, TelemetryService
+from repro.telemetry.store import StoreConfig
+from repro.telemetry.uplink.ingest import (
+    CHECKPOINT_SCHEMA,
+    DedupWatermark,
+    UplinkIngestor,
+    store_digest,
+)
+from repro.telemetry.uplink.transport import (
+    decode_envelope,
+    encode_batch,
+    encode_envelope,
+)
+
+
+def _rec(source, seq, miss=False):
+    return TelemetryRecord(
+        kind=RecordKind.CHAIN, source=source, chain="c",
+        activation=seq, verdict="miss" if miss else "ok",
+        timestamp_ns=(seq + 1) * 100, seq=seq,
+    )
+
+
+def _service():
+    return TelemetryService(ServiceConfig(
+        store=StoreConfig(mk_by_chain={"c": (2, 10)})
+    ))
+
+
+class TestDedupWatermark:
+    def test_admits_once_then_duplicates(self):
+        dedup = DedupWatermark()
+        assert dedup.admit(0) is True
+        assert dedup.admit(0) is False
+        assert dedup.watermark == 0
+        assert dedup.admitted == 1
+        assert dedup.duplicates == 1
+
+    def test_watermark_sweeps_contiguous_prefix(self):
+        dedup = DedupWatermark()
+        for seq in (2, 0, 3):
+            dedup.admit(seq)
+        assert dedup.watermark == 0
+        assert dedup.seen == {2, 3}
+        dedup.admit(1)
+        assert dedup.watermark == 3
+        assert dedup.seen == set()
+
+    def test_advance_to_settles_the_window(self):
+        dedup = DedupWatermark()
+        dedup.admit(5)
+        dedup.advance_to(5)
+        assert dedup.watermark == 5
+        assert dedup.seen == set()
+        # Everything at or below the watermark is a duplicate now.
+        assert dedup.admit(3) is False
+        # A stale advance is a no-op.
+        dedup.advance_to(2)
+        assert dedup.watermark == 5
+
+    def test_snapshot_round_trip(self):
+        dedup = DedupWatermark()
+        for seq in (0, 1, 5, 9):
+            dedup.admit(seq)
+        dedup.admit(5)
+        restored = DedupWatermark.from_json(
+            json.loads(json.dumps(dedup.to_json()))
+        )
+        assert restored.watermark == dedup.watermark
+        assert restored.seen == dedup.seen
+        assert restored.admitted == dedup.admitted
+        assert restored.duplicates == dedup.duplicates
+        assert restored.admit(5) is False
+        assert restored.admit(6) is True
+
+    # ------------------------------------------------------------------
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("offer"), st.integers(0, 25)),
+                st.tuples(st.just("advance"), st.integers(0, 25)),
+            ),
+            max_size=150,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_exactly_once_under_any_interleaving(self, ops):
+        """Any interleaving of drops / duplicates / reorders (modelled
+        as arbitrary offer sequences) admits each seq at most once, and
+        never after a settle covered it -- so duplicates can never
+        double-count downstream (m,k) misses."""
+        dedup = DedupWatermark()
+        admitted = []
+        model_admitted = set()
+        model_settled = -1
+        for op, value in ops:
+            if op == "offer":
+                expect = value > model_settled and value not in model_admitted
+                got = dedup.admit(value)
+                assert got is expect
+                if got:
+                    model_admitted.add(value)
+                    admitted.append(value)
+            else:
+                dedup.advance_to(value)
+                model_settled = max(model_settled, value)
+        assert len(admitted) == len(set(admitted))
+        assert dedup.admitted == len(admitted)
+        offered = [v for op, v in ops if op == "offer"]
+        assert dedup.admitted + dedup.duplicates == len(offered)
+
+
+class TestIngestor:
+    def test_batch_applied_once_and_acked(self, tmp_path):
+        ingestor = UplinkIngestor(_service(), tmp_path, fsync="never")
+        payload = encode_batch("v0", 0, [_rec("v0", i) for i in range(4)])
+        ack = decode_envelope(ingestor.handle_payload(payload))
+        assert ack["ack_through"] == 3
+        assert ingestor.service.store.applied == 4
+        # The exact same batch again: all duplicates, same ack, no
+        # double-application (this is what keeps (m,k) counts honest).
+        before = store_digest(ingestor.service)
+        ack2 = decode_envelope(ingestor.handle_payload(payload))
+        assert ack2["ack_through"] == 3
+        assert ingestor.records_duplicate == 4
+        assert store_digest(ingestor.service) == before
+
+    def test_corrupt_and_foreign_payloads_counted_not_acked(self, tmp_path):
+        ingestor = UplinkIngestor(_service(), tmp_path, fsync="never")
+        assert ingestor.handle_payload("garbage") is None
+        assert ingestor.handle_payload(
+            encode_envelope({"schema": "other/1", "source": "v0"})
+        ) is None
+        payload = encode_batch("v0", 0, [_rec("v0", 0)])
+        assert ingestor.handle_payload(payload[:-3] + "###") is None
+        assert ingestor.corrupt_payloads == 2
+        assert ingestor.foreign_payloads == 1
+        assert ingestor.service.store.applied == 0
+
+    def test_durable_before_ack_without_checkpoint(self, tmp_path):
+        """A crash immediately after the ack must not lose the batch:
+        the WAL carries it even when no checkpoint ever ran."""
+        ingestor = UplinkIngestor(
+            _service(), tmp_path, fsync="never", checkpoint_every=None
+        )
+        ingestor.handle_payload(
+            encode_batch("v0", 0, [_rec("v0", i, miss=i == 2)
+                                   for i in range(5)])
+        )
+        live = store_digest(ingestor.service)
+        ingestor.close()  # crash: no checkpoint was written
+        recovered, report = UplinkIngestor.recover(
+            tmp_path, ServiceConfig(
+                store=StoreConfig(mk_by_chain={"c": (2, 10)})
+            ), fsync="never",
+        )
+        assert not report.checkpoint_loaded
+        assert report.replayed_fresh == 5
+        assert store_digest(recovered.service) == live
+        assert recovered.dedup["v0"].watermark == 4
+
+    def test_checkpoint_plus_replay_recovery(self, tmp_path):
+        ingestor = UplinkIngestor(
+            _service(), tmp_path, fsync="never", checkpoint_every=2
+        )
+        for batch_no in range(5):
+            lo = batch_no * 3
+            ingestor.handle_payload(encode_batch(
+                "v0", batch_no,
+                [_rec("v0", seq, miss=seq % 4 == 0)
+                 for seq in range(lo, lo + 3)],
+            ))
+        assert ingestor.checkpoints == 2
+        live = store_digest(ingestor.service)
+        ingestor.close()
+
+        recovered, report = UplinkIngestor.recover(
+            tmp_path, ServiceConfig(
+                store=StoreConfig(mk_by_chain={"c": (2, 10)})
+            ), fsync="never",
+        )
+        assert report.checkpoint_loaded
+        # Only the post-checkpoint suffix is replayed from the WAL.
+        assert report.replayed_fresh == 3
+        assert store_digest(recovered.service) == live
+        # The recovered ingestor keeps deduplicating correctly.
+        stale = encode_batch("v0", 9, [_rec("v0", 2)])
+        ack = decode_envelope(recovered.handle_payload(stale))
+        assert ack["ack_through"] == 14
+        assert store_digest(recovered.service) == live
+
+    def test_unknown_checkpoint_schema_refused(self, tmp_path):
+        ingestor = UplinkIngestor(
+            _service(), tmp_path, fsync="never", checkpoint_every=1
+        )
+        ingestor.handle_payload(encode_batch("v0", 0, [_rec("v0", 0)]))
+        ingestor.close()
+        path = tmp_path / "checkpoint.json"
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == CHECKPOINT_SCHEMA
+        doc["schema"] = "repro-uplink-checkpoint/9"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(SchemaVersionError) as err:
+            UplinkIngestor.recover(tmp_path, fsync="never")
+        assert "repro-uplink-checkpoint/9" in str(err.value)
+
+    def test_digest_invariant_to_cross_source_interleaving(self, tmp_path):
+        batches = {
+            source: [_rec(source, seq, miss=seq == 1) for seq in range(6)]
+            for source in ("v0", "v1", "v2")
+        }
+        first = UplinkIngestor(
+            _service(), tmp_path / "a", fsync="never"
+        )
+        for source, records in sorted(batches.items()):
+            first.handle_payload(encode_batch(source, 0, records))
+        second = UplinkIngestor(
+            _service(), tmp_path / "b", fsync="never"
+        )
+        for source, records in sorted(batches.items(), reverse=True):
+            for i, record in enumerate(records):
+                second.handle_payload(encode_batch(source, i, [record]))
+        assert store_digest(first.service) == store_digest(second.service)

@@ -1,0 +1,276 @@
+"""Vehicle WAL spooler + fleet record log: rotation, ack, eviction,
+crash recovery with torn tails, and the replay round-trip property."""
+
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.records import RecordKind, SchemaVersionError, TelemetryRecord
+from repro.telemetry.uplink.wal import (
+    RecordLog,
+    WalConfig,
+    WalCorruptionError,
+    WalSpooler,
+    decode_entry,
+    encode_entry,
+)
+
+
+def _rec(source, seq, latency=10):
+    return TelemetryRecord(
+        kind=RecordKind.SEGMENT, source=source, chain="c", segment="c/s0",
+        activation=seq, latency_ns=latency, verdict="ok",
+        timestamp_ns=seq * 100, seq=seq,
+    )
+
+
+def _config(tmp_path, **kwargs):
+    kwargs.setdefault("fsync", "never")
+    kwargs.setdefault("segment_max_records", 4)
+    return WalConfig(directory=Path(tmp_path) / "wal", **kwargs)
+
+
+def _tear_tail(directory):
+    """Chop the newest WAL line in half (simulated mid-write crash)."""
+    path = sorted(Path(directory).glob("wal-*.log"))[-1]
+    raw = path.read_bytes()
+    lines = raw.split(b"\n")
+    assert lines[-1] == b""
+    last = lines[-2]
+    kept = raw[: len(raw) - len(last) - 1]
+    path.write_bytes(kept + last[: len(last) // 2])
+
+
+class TestFraming:
+    def test_entry_round_trip(self):
+        body = _rec("v0", 3).encode_line()
+        assert decode_entry(encode_entry(body)) is not None
+
+    def test_damaged_entry_rejected(self):
+        line = encode_entry(_rec("v0", 3).encode_line())
+        assert decode_entry(line[:-4]) is None
+        assert decode_entry("zz" + line[2:]) is None
+        assert decode_entry("short") is None
+
+
+class TestSpooler:
+    def test_append_rotates_segments(self, tmp_path):
+        spooler = WalSpooler.open_fresh(_config(tmp_path), "v0")
+        for i in range(9):
+            spooler.append(_rec("v0", i))
+        # 4-record segments: two closed + the active third.
+        assert len(spooler.segments) == 3
+        assert spooler.pending == 9
+        assert len(list((Path(tmp_path) / "wal").glob("wal-*.log"))) == 3
+
+    def test_seq_must_increase(self, tmp_path):
+        spooler = WalSpooler.open_fresh(_config(tmp_path), "v0")
+        spooler.append(_rec("v0", 5))
+        with pytest.raises(ValueError):
+            spooler.append(_rec("v0", 5))
+        with pytest.raises(ValueError):
+            spooler.append(_rec("v0", 2))
+
+    def test_pending_records_order_and_limit(self, tmp_path):
+        spooler = WalSpooler.open_fresh(_config(tmp_path), "v0")
+        for i in range(7):
+            spooler.append(_rec("v0", i))
+        assert [r.seq for r in spooler.pending_records()] == list(range(7))
+        assert [r.seq for r in spooler.pending_records(limit=3)] == [0, 1, 2]
+
+    def test_ack_releases_and_deletes_covered_segments(self, tmp_path):
+        spooler = WalSpooler.open_fresh(_config(tmp_path), "v0")
+        for i in range(10):
+            spooler.append(_rec("v0", i))
+        released = spooler.ack_through(5)
+        assert [r.seq for r in released] == [0, 1, 2, 3, 4, 5]
+        assert spooler.pending == 4
+        # The first closed segment (seqs 0-3) is fully covered: gone.
+        assert not (Path(tmp_path) / "wal" / "wal-00000000.log").exists()
+        # Cumulative: a stale ack is a no-op.
+        assert spooler.ack_through(3) == []
+        assert spooler.acked == 6
+
+    def test_eviction_is_counted_and_hooked(self, tmp_path):
+        config = _config(tmp_path, max_bytes=700, segment_max_records=2)
+        spooler = WalSpooler.open_fresh(config, "v0")
+        evicted = []
+        spooler.on_evict = evicted.extend
+        for i in range(10):
+            spooler.append(_rec("v0", i))
+        assert spooler.evicted > 0
+        assert spooler.evicted == len(evicted)
+        # Oldest-first: surviving records are the newest.
+        survivors = [r.seq for r in spooler.pending_records()]
+        assert survivors == sorted(survivors)
+        assert set(r.seq for r in evicted) == set(range(10)) - set(survivors)
+        assert spooler.total_bytes <= 700 or len(spooler.segments) == 1
+
+    def test_active_segment_is_eviction_exempt(self, tmp_path):
+        config = _config(tmp_path, max_bytes=1, segment_max_records=100)
+        spooler = WalSpooler.open_fresh(config, "v0")
+        spooler.append(_rec("v0", 0))
+        assert spooler.pending == 1  # over budget, but never evicted
+
+
+class TestSpoolerRecovery:
+    def test_clean_recovery_resumes(self, tmp_path):
+        config = _config(tmp_path)
+        spooler = WalSpooler.open_fresh(config, "v0")
+        for i in range(6):
+            spooler.append(_rec("v0", i))
+        spooler.ack_through(1)
+        spooler.close()
+
+        recovered, report = WalSpooler.recover(_config(tmp_path), "v0")
+        assert report.truncated_lines == 0
+        assert report.ack_through == 1
+        assert report.last_seq == 5
+        # Acked records are not resurrected.
+        assert [r.seq for r in recovered.pending_records()] == [2, 3, 4, 5]
+        recovered.append(_rec("v0", 6))
+        assert recovered.pending == 5
+
+    def test_torn_tail_truncated_and_counted(self, tmp_path):
+        config = _config(tmp_path)
+        spooler = WalSpooler.open_fresh(config, "v0")
+        for i in range(6):
+            spooler.append(_rec("v0", i))
+        spooler.close()
+        _tear_tail(config.directory)
+
+        recovered, report = WalSpooler.recover(_config(tmp_path), "v0")
+        assert report.truncated_lines == 1
+        assert [r.seq for r in recovered.pending_records()] == [0, 1, 2, 3, 4]
+        assert recovered.last_seq == 4
+        # The repair is physical: a second recovery is clean.
+        recovered.close()
+        again, report2 = WalSpooler.recover(_config(tmp_path), "v0")
+        assert report2.truncated_lines == 0
+        assert again.pending == 5
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        config = _config(tmp_path, segment_max_records=100)
+        spooler = WalSpooler.open_fresh(config, "v0")
+        for i in range(5):
+            spooler.append(_rec("v0", i))
+        spooler.close()
+        path = sorted(config.directory.glob("wal-*.log"))[0]
+        lines = path.read_text().split("\n")
+        lines[2] = lines[2][:-5] + "XXXXX"  # not the tail: line 3 of 6
+        path.write_text("\n".join(lines))
+        with pytest.raises(WalCorruptionError):
+            WalSpooler.recover(_config(tmp_path, segment_max_records=100), "v0")
+
+    def test_foreign_schema_raises(self, tmp_path):
+        config = _config(tmp_path)
+        spooler = WalSpooler.open_fresh(config, "v0")
+        spooler.append(_rec("v0", 0))
+        spooler.close()
+        path = sorted(config.directory.glob("wal-*.log"))[0]
+        lines = path.read_text().split("\n")
+        lines[0] = lines[0].replace("repro-uplink-wal/1", "repro-uplink-wal/9")
+        path.write_text("\n".join(lines))
+        with pytest.raises(SchemaVersionError):
+            WalSpooler.recover(_config(tmp_path), "v0")
+
+    def test_refuses_fresh_open_over_existing_spool(self, tmp_path):
+        config = _config(tmp_path)
+        WalSpooler.open_fresh(config, "v0").close()
+        with pytest.raises(FileExistsError):
+            WalSpooler.open_fresh(_config(tmp_path), "v0")
+
+
+class TestRecordLog:
+    def test_replay_records_and_markers(self, tmp_path):
+        path = Path(tmp_path) / "fleet.log"
+        log = RecordLog(path, fsync="never")
+        log.append_record(_rec("v0", 0))
+        log.append_marker("v0", 0)
+        log.append_record(_rec("v1", 7))
+        log.sync()
+        log.close()
+
+        replayed = RecordLog.open_existing(path, fsync="never")
+        entries = replayed.replayed
+        assert len(entries) == 3
+        assert entries[0][0].seq == 0 and entries[0][1] is None
+        assert entries[1] == (None, ("v0", 0))
+        assert entries[2][0].source == "v1"
+
+    def test_reset_truncates_after_checkpoint(self, tmp_path):
+        path = Path(tmp_path) / "fleet.log"
+        log = RecordLog(path, fsync="never")
+        log.append_record(_rec("v0", 0))
+        log.sync()
+        log.reset()
+        log.close()
+        assert RecordLog.open_existing(path, fsync="never").replayed == []
+
+    def test_torn_tail_tolerated(self, tmp_path):
+        path = Path(tmp_path) / "fleet.log"
+        log = RecordLog(path, fsync="never")
+        for i in range(4):
+            log.append_record(_rec("v0", i))
+        log.sync()
+        log.close()
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        path.write_bytes(
+            raw[: len(raw) - len(lines[-2]) - 1] + lines[-2][:10]
+        )
+        replayed = RecordLog.open_existing(path, fsync="never")
+        assert replayed.truncated == 1
+        assert [entry[0].seq for entry in replayed.replayed] == [0, 1, 2]
+
+
+class TestReplayRoundTripProperty:
+    @given(
+        n=st.integers(min_value=1, max_value=40),
+        segment_max=st.integers(min_value=1, max_value=7),
+        ack=st.integers(min_value=-1, max_value=45),
+        tear=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_append_rotate_replay_round_trip(self, n, segment_max, ack, tear):
+        """Any append/rotate/ack history -- optionally ending in a torn
+        tail -- recovers to exactly the unacked suffix and resumes."""
+        with tempfile.TemporaryDirectory() as tmp:
+            def config():
+                return WalConfig(
+                    directory=Path(tmp) / "wal", fsync="never",
+                    segment_max_records=segment_max,
+                )
+
+            spooler = WalSpooler.open_fresh(config(), "v0")
+            for i in range(n):
+                spooler.append(_rec("v0", i))
+            ack_eff = min(ack, n - 1)
+            if ack_eff >= 0:
+                released = spooler.ack_through(ack_eff)
+                assert [r.seq for r in released] == list(range(ack_eff + 1))
+            spooler.close()
+
+            expected = list(range(ack_eff + 1, n))
+            torn = 0
+            if tear:
+                tail = sorted(Path(tmp, "wal").glob("wal-*.log"))[-1]
+                lines = tail.read_bytes().split(b"\n")
+                # Only a still-pending record line can be mid-write.
+                if len(lines) >= 3 and expected and expected[-1] == n - 1:
+                    _tear_tail(Path(tmp) / "wal")
+                    expected = expected[:-1]
+                    torn = 1
+
+            recovered, report = WalSpooler.recover(config(), "v0")
+            assert report.truncated_lines == torn
+            assert [r.seq for r in recovered.pending_records()] == expected
+            assert recovered.ack_mark == ack_eff
+            # The spool resumes: the next append must be accepted.
+            next_seq = recovered.last_seq + 1
+            recovered.append(_rec("v0", next_seq))
+            assert recovered.pending_records()[-1].seq == next_seq
+            recovered.close()
