@@ -119,6 +119,38 @@ def bench_scheduler_preempt() -> int:
     return periods
 
 
+def _tracing_workload(sim) -> int:
+    """The shared dispatch workload for the tracing on/off pair."""
+    callback = (lambda: None)
+    for i in range(5000):
+        sim.schedule_at(i, callback)
+    return sim.run()
+
+
+def bench_tracing_spans_off() -> int:
+    """Kernel dispatch with the span recorder absent (guards only)."""
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    return _tracing_workload(sim)
+
+
+def bench_tracing_spans_on() -> int:
+    """Same dispatch workload with a recorder attached and an ambient
+    context, so every event captures and restores a span context."""
+    from repro.sim import Simulator
+    from repro.tracing.spans import SpanRecorder
+
+    sim = Simulator()
+    recorder = SpanRecorder(sim)
+    sim.spans = recorder
+    root = recorder.begin("bench", "compute", parent=None)
+    recorder.current = root.context
+    fired = _tracing_workload(sim)
+    recorder.end(root)
+    return fired
+
+
 def bench_dds_local_pubsub() -> int:
     """Publish -> deliver -> executor -> callback round trips on one ECU."""
     from repro.dds import DdsDomain, Topic
@@ -355,6 +387,8 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
     KERNEL_SUITE: [
         ("kernel_dispatch", "kernel", "events", bench_kernel_dispatch),
         ("kernel_cancel_sweep", "kernel", "events", bench_kernel_cancel_sweep),
+        ("tracing_spans_off", "tracing", "events", bench_tracing_spans_off),
+        ("tracing_spans_on", "tracing", "events", bench_tracing_spans_on),
         ("timer_rearm", "kernel", "arms", bench_timer_rearm),
         ("scheduler_pingpong", "scheduler", "switches", bench_scheduler_pingpong),
         ("scheduler_preempt", "scheduler", "periods", bench_scheduler_preempt),

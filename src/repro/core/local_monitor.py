@@ -219,6 +219,10 @@ class LocalSegmentRuntime:
         #: :class:`repro.telemetry.emitter.MonitorTelemetrySink`).  The
         #: hot path pays one falsy check per event when empty.
         self.telemetry_sinks: List = []
+        #: Span contexts of pending activations (span tracing only):
+        #: captured at the start event so an exception span can parent
+        #: to the causal chain that started the activation.
+        self._span_ctx: Dict[int, Any] = {}
 
     # ------------------------------------------------------------------
     # Instrumentation attachment
@@ -267,6 +271,11 @@ class LocalSegmentRuntime:
             )
             self.start_overhead_samples.append(overhead)
         self.start_buffer.post((n, ts, sample.data))
+        spans = monitor.sim.spans
+        if spans is not None:
+            # Runs inside the start-event delivery: the ambient context
+            # is the transport span that delivered the start sample.
+            self._span_ctx[n] = spans.current
         monitor.sim.emit_trace(
             "monitor.start_event", segment=self.segment.name, n=n, ts=ts
         )
@@ -295,6 +304,16 @@ class LocalSegmentRuntime:
         propagates its exception instead of issuing a start event.
         """
         self._start_count += 1
+        monitor = self.monitor
+        if monitor is not None and monitor.sim.spans is not None:
+            # Error-propagation event (Algorithm 1 line 7): an instant
+            # span under the ambient (remote exception) context.
+            monitor.sim.spans.instant(
+                "monitor.propagation",
+                "exception",
+                segment=self.segment.name,
+                n=activation,
+            )
         for runtime in self.reporters:
             runtime.report(self.segment.name, activation, Outcome.SKIPPED)
         if self.telemetry_sinks:
@@ -328,6 +347,8 @@ class LocalSegmentRuntime:
         if entry is None:
             self.stale_end_events += 1
             return
+        if self._span_ctx:
+            self._span_ctx.pop(n, None)
         latency = end_ts - entry.start_ts
         # Remember the input of the last successful activation: recovery
         # handlers commonly fall back to it.
@@ -342,7 +363,9 @@ class LocalSegmentRuntime:
                     self.segment.name, n, Outcome.OK.value, latency, end_ts
                 )
 
-    def _raise_exception(self, n: int, detected_at: int) -> bool:
+    def _raise_exception(
+        self, n: int, detected_at: int, span_begin: Optional[int] = None
+    ) -> bool:
         """Run Algorithm 2 for activation *n*; True if recovered."""
         monitor = self._require_monitor()
         entry = self.pending.pop(n)
@@ -359,9 +382,29 @@ class LocalSegmentRuntime:
             start_data=entry.data,
             last_good_data=self.last_good_data,
         )
+        spans = monitor.sim.spans
+        exc_span = None
+        prev_ctx = None
+        if spans is not None:
+            # The exception-handling span (Algorithm 2): parented to the
+            # causal chain that delivered the start event, anchored at
+            # the instant the monitor began handling the expiry.
+            parent = self._span_ctx.pop(n, None)
+            exc_span = spans.begin(
+                f"monitor.exception:{self.segment.name}",
+                "exception",
+                parent=parent if parent is not None else spans.current,
+                start=span_begin,
+                segment=self.segment.name,
+                n=n,
+            )
+            prev_ctx = spans.current
+            spans.current = exc_span.context
         recovered = handle_local_exception(
             self.handler, context, self._publish_recovery
         )
+        if exc_span is not None:
+            spans.current = prev_ctx
         # Skip the late real end event and its publication/reception.
         self.skip_gate.add(n)
         handled_at = monitor.ecu.now()
@@ -394,6 +437,10 @@ class LocalSegmentRuntime:
             recovered=recovered,
             detection_latency=detected_at - entry.deadline,
         )
+        if exc_span is not None:
+            exc_span.attrs["recovered"] = recovered
+            exc_span.attrs["detection_latency"] = detected_at - entry.deadline
+            spans.end(exc_span)
         return recovered
 
     def _publish_recovery(self, data: Any) -> None:
@@ -529,12 +576,15 @@ class MonitorThread:
                     runtime._complete(end_n, end_ts)
                 if n not in runtime.pending:
                     continue
+                # Anchor the exception span at the instant the monitor
+                # started reacting, before detection/handler CPU costs.
+                span_begin = None if self.sim.spans is None else self.sim.now
                 if self.costs.exception_detect > 0:
                     yield Compute(self.costs.exception_detect)
                 if runtime.handler.cost_ns > 0:
                     yield Compute(runtime.handler.cost_ns)
                 detected_at = self.ecu.now()
-                runtime._raise_exception(n, detected_at)
+                runtime._raise_exception(n, detected_at, span_begin=span_begin)
                 self.exceptions_raised += 1
 
     def __repr__(self) -> str:  # pragma: no cover

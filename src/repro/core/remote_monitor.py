@@ -249,17 +249,32 @@ class SyncRemoteMonitor:
         self._timer.start_at(self._to_sim_time(self.deadline_local))
 
     def _dispatch_violation(self, n: int, nominal: int) -> None:
+        # Ambient span context is lost through the deferred hop (the
+        # middleware/monitor threads restore their own, empty, context),
+        # so the anchor instant and causal parent travel explicitly.
+        span_begin = None
+        parent = None
+        spans = self.sim.spans
+        if spans is not None:
+            span_begin = self.sim.now
+            parent = spans.current
         if self.context is TimeoutContext.MIDDLEWARE:
             self.reader.participant.post_middleware_event(
-                self._handle_violation, n, nominal
+                self._handle_violation, n, nominal, span_begin, parent
             )
         else:
             assert self.monitor_thread is not None
             self.monitor_thread.forward(
-                lambda: self._handle_violation(n, nominal)
+                lambda: self._handle_violation(n, nominal, span_begin, parent)
             )
 
-    def _handle_violation(self, n: int, nominal: int) -> None:
+    def _handle_violation(
+        self,
+        n: int,
+        nominal: int,
+        span_begin: Optional[int] = None,
+        parent: Any = None,
+    ) -> None:
         """Algorithm 1, executed in the configured timeout context."""
         entered_at = self.ecu.now()
         self.entry_latency_samples.append(entered_at - nominal)
@@ -275,12 +290,33 @@ class SyncRemoteMonitor:
             misses=self.window.misses_in_window + 1,
             last_good_data=self.last_good_data,
         )
+        spans = self.sim.spans
+        exc_span = None
+        if spans is not None:
+            # Spans the timer expiry -> end of handling, so the critical
+            # path of a recovered activation charges detection + handler
+            # time to the "exception" category.
+            exc_span = spans.begin(
+                f"syncmon.exception:{self.segment.name}",
+                "exception",
+                parent=parent if parent is not None else spans.current,
+                start=span_begin,
+                segment=self.segment.name,
+                n=n,
+            )
+            prev_ctx = spans.current
+            spans.current = exc_span.context
         recovered = handle_remote_exception(
             self.handler,
             context,
             issue_receive=lambda data: self._issue_receive(n, data),
             propagate_exception=lambda: self._propagate(n),
         )
+        if exc_span is not None:
+            spans.current = prev_ctx
+            exc_span.attrs["recovered"] = recovered
+            exc_span.attrs["entry_latency"] = entered_at - nominal
+            spans.end(exc_span)
         self.window.record(not recovered)
         outcome = Outcome.RECOVERED if recovered else Outcome.MISS
         start_ts = nominal - self.segment.d_mon  # the nominal start instant

@@ -125,6 +125,40 @@ class DataReader:
                 seq=sample.sequence_number,
                 ts=sample.source_timestamp,
             )
+        spans = sim.spans
+        if spans is not None:
+            # One transport span per accepted delivery, covering
+            # publication instant -> this receive (sim time on both
+            # ends, so the duration is the true wire+stack latency).
+            # Recovered data injected via issue_receive has no
+            # publication span: it parents to the ambient context,
+            # i.e. the exception span that issued it.
+            parent = sample.ctx
+            start = None
+            if parent is not None:
+                origin = spans.get(parent.span_id)
+                if origin is not None:
+                    start = origin.end
+            else:
+                parent = spans.current
+            tspan = spans.begin(
+                "dds.transport",
+                "network",
+                parent=parent,
+                start=start,
+                topic=self.topic.name,
+                reader=self.guid,
+                seq=sample.sequence_number,
+            )
+            frame = getattr(sample.data, "frame_index", None)
+            if frame is not None:
+                tspan.attrs["frame"] = frame
+            if sample.recovered:
+                tspan.attrs["recovered"] = True
+            spans.end(tspan)
+            # Hooks, monitors and the executor enqueue all run inside
+            # this delivery: hand them the transport context.
+            spans.current = tspan.context
         self._store(sample)
         for hook in self.on_receive_hooks:
             hook(sample)

@@ -84,6 +84,7 @@ class Sample:
         "key",
         "recovered",
         "uid",
+        "ctx",
     )
 
     def __init__(
@@ -111,6 +112,10 @@ class Sample:
         self.recovered = recovered
         #: Unique id (diagnostics).
         self.uid = uid if uid is not None else _next_sample_id()
+        #: Publication span context (span tracing only; set by the
+        #: writer, never mutated downstream -- one sample instance is
+        #: shared by every matched reader).
+        self.ctx = None
 
     @property
     def size_bytes(self) -> int:

@@ -94,6 +94,23 @@ class DataWriter:
                 seq=sample.sequence_number,
                 ts=sample.source_timestamp,
             )
+        spans = sim.spans
+        if spans is not None:
+            # The publication instant: chains are anchored at these, and
+            # downstream transport spans parent to them via sample.ctx.
+            pub = spans.instant(
+                "dds.publish",
+                "publish",
+                topic=self.topic.name,
+                writer=self.guid,
+                seq=sample.sequence_number,
+            )
+            frame = getattr(data, "frame_index", None)
+            if frame is not None:
+                pub.attrs["frame"] = frame
+            if recovered:
+                pub.attrs["recovered"] = True
+            sample.ctx = pub.context
         for hook in self.on_publish_hooks:
             hook(sample)
         self.participant.domain._route(self, sample)

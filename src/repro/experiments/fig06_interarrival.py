@@ -146,10 +146,10 @@ def _run_monitor(
 
         original = monitor._handle_violation
 
-        def wrapped(n, nominal):
+        def wrapped(n, nominal, *span_args):
             flagged.add(n)
             detections[0] += 1
-            original(n, nominal)
+            original(n, nominal, *span_args)
 
         monitor._handle_violation = wrapped
     else:

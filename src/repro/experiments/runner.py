@@ -145,6 +145,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "fig11": "instrumentation overhead microbenchmark (real host)",
     "fig12": "remote timeout entry latencies by context",
     "telemetry": "fleet telemetry service: ingest load run + alerting",
+    "trace": "causal span tracing with critical-path latency attribution",
 }
 
 
@@ -173,6 +174,10 @@ def main(argv=None) -> int:
         from repro.telemetry.uplink.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from repro.tracing.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures ('bench' runs the "
@@ -183,7 +188,7 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "chaos", "telemetry"],
+        choices=sorted(EXPERIMENTS) + ["all", "bench", "chaos", "telemetry", "trace"],
         help="which subcommand to run (one-line descriptions below)",
     )
     parser.add_argument(

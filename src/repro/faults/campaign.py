@@ -93,6 +93,9 @@ class CampaignConfig:
     watchdog: bool = True
     policy: EscalationPolicy = field(default_factory=EscalationPolicy)
     disable_violation_reporting: bool = False
+    #: Attach a span recorder to every scenario's stack (causal span
+    #: tracing; the campaign result is unchanged by it either way).
+    spans: bool = False
 
     def __post_init__(self) -> None:
         if self.n_frames < self.warmup + self.tail + 8:
@@ -279,7 +282,7 @@ class FaultCampaign:
         """Build, fault, run and judge one scenario."""
         cc = self.config
         stack_config = dataclasses.replace(
-            StackConfig(seed=cc.seed), **scenario.config_overrides
+            StackConfig(seed=cc.seed, spans=cc.spans), **scenario.config_overrides
         )
         stack = PerceptionStack(stack_config)
         truth = GroundTruthRecorder(stack)

@@ -299,6 +299,13 @@ class GracefulDegradationManager:
             "degradation.transition",
             old=self.mode.value, new=mode.value, reason=reason,
         )
+        spans = self.stack.sim.spans
+        if spans is not None:
+            spans.instant(
+                "degradation.transition",
+                "mode",
+                old=self.mode.value, new=mode.value, reason=reason,
+            )
         self.mode = mode
 
     def _enter_degraded(self, reason: str) -> None:

@@ -55,24 +55,39 @@ class FusionService:
         self.publisher = node.create_publisher(topic_out, qos=qos)
         self._pending_front: Dict[int, PointCloud] = {}
         self._pending_rear: Dict[int, PointCloud] = {}
+        #: Span contexts of waiting frames (span tracing only): the
+        #: fusing callback links the partner's causal history so both
+        #: chains can walk their own critical path through the join.
+        self._ctx_front: Dict[int, object] = {}
+        self._ctx_rear: Dict[int, object] = {}
         self.fused_count = 0
         self.evicted_count = 0
         self.sub_front = node.create_subscription(topic_front, self._on_front, qos=qos)
         self.sub_rear = node.create_subscription(topic_rear, self._on_rear, qos=qos)
 
     def _on_front(self, sample):
-        return self._on_cloud(sample.data, self._pending_front, self._pending_rear)
+        return self._on_cloud(sample.data, self._pending_front, self._pending_rear,
+                              self._ctx_front, self._ctx_rear)
 
     def _on_rear(self, sample):
-        return self._on_cloud(sample.data, self._pending_rear, self._pending_front)
+        return self._on_cloud(sample.data, self._pending_rear, self._pending_front,
+                              self._ctx_rear, self._ctx_front)
 
     def _on_cloud(self, cloud: PointCloud, mine: Dict[int, PointCloud],
-                  other: Dict[int, PointCloud]):
+                  other: Dict[int, PointCloud],
+                  mine_ctx: Dict[int, object], other_ctx: Dict[int, object]):
+        spans = self.node.ecu.sim.spans
         partner = other.pop(cloud.frame_index, None)
         if partner is None:
             mine[cloud.frame_index] = cloud
-            self._evict(mine)
+            if spans is not None:
+                mine_ctx[cloud.frame_index] = spans.current
+            self._evict(mine, mine_ctx)
             return None
+        if spans is not None:
+            # Causal join: this callback's span gets a link to the
+            # earlier arrival's callback span (the waiting branch).
+            spans.link_current(other_ctx.pop(cloud.frame_index, None))
         fused = cloud.concatenate(partner)
         work = self.fuse_model.sample(
             self.node.ecu.sim.rng("fusion"), size=len(fused)
@@ -84,10 +99,13 @@ class FusionService:
         self.publisher.publish(fused)
         self.fused_count += 1
 
-    def _evict(self, pending: Dict[int, PointCloud]) -> None:
+    def _evict(self, pending: Dict[int, PointCloud],
+               ctxs: Optional[Dict[int, object]] = None) -> None:
         while len(pending) > self.max_pending:
             oldest = min(pending)
             del pending[oldest]
+            if ctxs is not None:
+                ctxs.pop(oldest, None)
             self.evicted_count += 1
 
     @property

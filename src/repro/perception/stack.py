@@ -139,6 +139,10 @@ class StackConfig:
     fault_rear: Optional[FaultFn] = None
     # Tracing.
     trace_prefixes: tuple = ("dds.", "monitor.", "syncmon.", "lidar.")
+    #: Causal span tracing (critical-path attribution).  Off by default:
+    #: the kernel hot path then keeps its span-free fast loop and runs
+    #: are bit-identical to builds without the tracing subsystem.
+    spans: bool = False
 
 
 def activation_of(sample) -> Optional[int]:
@@ -154,6 +158,13 @@ class PerceptionStack:
         cfg = self.config
         self.sim = Simulator(seed=cfg.seed)
         self.tracer = Tracer(self.sim, prefixes=cfg.trace_prefixes)
+        if cfg.spans:
+            from repro.tracing.spans import SpanRecorder
+
+            self.spans = SpanRecorder(self.sim)
+            self.sim.spans = self.spans
+        else:
+            self.spans = None
         self._build_platform()
         self._build_topics()
         self._build_services()

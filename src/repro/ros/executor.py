@@ -29,7 +29,7 @@ class SingleThreadedExecutor:
         self.sim = ecu.sim
         self.name = name
         self.priority = priority
-        self._queue: Deque[Tuple[Callable[..., Any], tuple, int]] = deque()
+        self._queue: Deque[Tuple[Callable[..., Any], tuple, int, Any]] = deque()
         self._sem = Semaphore(self.sim, name=f"{name}.exec")
         self.callbacks_executed = 0
         self.callback_errors = 0
@@ -44,7 +44,13 @@ class SingleThreadedExecutor:
 
     def enqueue(self, callback: Callable[..., Any], *args: Any) -> None:
         """Add a work item; the executor thread is woken if idle."""
-        self._queue.append((callback, args, self.sim.now))
+        spans = self.sim.spans
+        self._queue.append((
+            callback,
+            args,
+            self.sim.now,
+            None if spans is None else spans.current,
+        ))
         self._sem.post()
 
     @property
@@ -57,11 +63,31 @@ class SingleThreadedExecutor:
             yield WaitSem(self._sem)
             if not self._queue:
                 continue
-            callback, args, enqueued_at = self._queue.popleft()
+            callback, args, enqueued_at, ctx = self._queue.popleft()
             delay = self.sim.now - enqueued_at
             self.total_queueing_delay += delay
             if delay > self.max_queueing_delay:
                 self.max_queueing_delay = delay
+            spans = self.sim.spans
+            span = None
+            if spans is not None:
+                # The compute span of this callback: child of whatever
+                # caused the enqueue (a transport span for subscription
+                # deliveries, None for timers -> a new chain root).
+                span = spans.begin(
+                    f"{self.name}.callback", "compute", parent=ctx,
+                    queued_ns=delay,
+                )
+                arg0 = args[0] if args else None
+                topic = getattr(arg0, "topic", None)
+                if topic is not None:
+                    span.attrs["topic"] = topic.name
+                    frame = getattr(arg0.data, "frame_index", None)
+                    if frame is not None:
+                        span.attrs["frame"] = frame
+                span_ctx = span.context
+                self.thread.span_ctx = span_ctx
+                spans.current = span_ctx
             # A faulty callback must not kill the executor: real rclcpp
             # executors survive throwing callbacks; we log and continue.
             try:
@@ -77,6 +103,10 @@ class SingleThreadedExecutor:
                     error=repr(error),
                 )
             self.callbacks_executed += 1
+            if span is not None:
+                spans.end(span)
+                self.thread.span_ctx = None
+                spans.current = None
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<SingleThreadedExecutor {self.name} prio={self.priority}>"

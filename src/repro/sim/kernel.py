@@ -92,7 +92,7 @@ class ScheduledEvent:
     skips cancelled entries when they surface at the head of the heap.
     """
 
-    __slots__ = ("callback", "args", "time", "cancelled", "label")
+    __slots__ = ("callback", "args", "time", "cancelled", "label", "ctx")
 
     def __init__(
         self,
@@ -106,6 +106,9 @@ class ScheduledEvent:
         self.time = time
         self.cancelled = False
         self.label = label
+        #: Span context captured at schedule time (span tracing only;
+        #: stays None while ``sim.spans`` is unset).
+        self.ctx = None
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
@@ -153,6 +156,10 @@ class Simulator:
         self._rngs: Dict[str, np.random.Generator] = {}
         self._running = False
         self._trace_hooks: List[Callable[[str, int, dict], None]] = []
+        #: Optional :class:`repro.tracing.spans.SpanRecorder`.  Duck-typed
+        #: like ``telemetry_sinks``: every hot-path consumer performs one
+        #: is-None check when tracing is off.  Attach *before* ``run()``.
+        self.spans = None
 
     # ------------------------------------------------------------------
     # Entity identifiers
@@ -208,6 +215,8 @@ class Simulator:
                 f"now is {fmt_time(self.now)}"
             )
         event = ScheduledEvent(callback, args, time, label=label)
+        if self.spans is not None:
+            event.ctx = self.spans.current
         heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
         return event
 
@@ -224,6 +233,8 @@ class Simulator:
             raise SimulationError(f"negative delay {delay}")
         time = self.now + delay
         event = ScheduledEvent(callback, args, time, label=label)
+        if self.spans is not None:
+            event.ctx = self.spans.current
         heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
         return event
 
@@ -232,6 +243,8 @@ class Simulator:
     ) -> ScheduledEvent:
         """Schedule *callback* at the current instant (after current event)."""
         event = ScheduledEvent(callback, args, self.now, label=label)
+        if self.spans is not None:
+            event.ctx = self.spans.current
         heapq.heappush(self._heap, (self.now, 0, self._next_seq(), event))
         return event
 
@@ -247,6 +260,9 @@ class Simulator:
             if event.cancelled:
                 continue
             self.now = event.time
+            spans = self.spans
+            if spans is not None:
+                spans.current = event.ctx
             event.callback(*event.args)
             return True
         return False
@@ -273,14 +289,28 @@ class Simulator:
         heap = self._heap
         heappop = heapq.heappop
         if until is None and max_events is None:
-            # Fast path: the overwhelmingly common full-drain loop.
+            if self.spans is None:
+                # Fast path: the overwhelmingly common full-drain loop.
+                # A recorder attached mid-drain only takes effect at the
+                # next run() call (attach before running, as documented).
+                while heap:
+                    time, _prio, _seq, event = heappop(heap)
+                    if event.cancelled:
+                        continue
+                    self.now = time
+                    event.callback(*event.args)
+                    count += 1
+                return count
+            spans = self.spans
             while heap:
                 time, _prio, _seq, event = heappop(heap)
                 if event.cancelled:
                     continue
                 self.now = time
+                spans.current = event.ctx
                 event.callback(*event.args)
                 count += 1
+            spans.current = None
             return count
         while heap:
             entry = heap[0]
@@ -292,12 +322,18 @@ class Simulator:
                 break
             heappop(heap)
             self.now = entry[0]
+            spans = self.spans
+            if spans is not None:
+                spans.current = entry[3].ctx
             entry[3].callback(*entry[3].args)
             count += 1
             if max_events is not None and count >= max_events:
                 raise SimulationError(f"exceeded max_events={max_events}")
         if until is not None and self.now < until:
             self.now = until
+        spans = self.spans
+        if spans is not None:
+            spans.current = None
         return count
 
     @property

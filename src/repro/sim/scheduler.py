@@ -311,6 +311,12 @@ class MulticoreScheduler:
                 # Resume a preempted compute slice.
                 self._begin_compute_slice(core, thread)
                 return
+            spans = self.sim.spans
+            if spans is not None:
+                # Restore the thread-carried ambient context: the kernel
+                # event that resumed us belongs to the scheduler, not to
+                # whatever work this thread was doing when it suspended.
+                spans.current = thread.span_ctx
             syscall = thread.advance()
             if syscall is None:
                 # Thread finished.

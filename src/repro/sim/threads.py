@@ -157,6 +157,9 @@ class SimThread:
         self.total_cpu_time: int = 0
         self.activations: int = 0
         self.preemptions: int = 0
+        #: Span context carried across suspensions (span tracing only;
+        #: restored by the scheduler before every generator resumption).
+        self.span_ctx: Any = None
 
     # ------------------------------------------------------------------
     def advance(self) -> Optional[Syscall]:

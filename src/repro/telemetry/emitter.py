@@ -44,17 +44,29 @@ def base_segment_name(segment_name: str) -> str:
 class TelemetryEmitter:
     """Stamps source identity + sequence numbers onto outgoing records."""
 
-    __slots__ = ("source", "sink", "seq", "emitted")
+    __slots__ = ("source", "sink", "seq", "emitted", "spans")
 
     def __init__(self, source: str, sink: Sink):
         self.source = source
         self.sink = sink
         self.seq = 0
         self.emitted = 0
+        #: Optional SpanRecorder (duck-typed; see repro.tracing.spans):
+        #: when set, every emitted record leaves an instant span so the
+        #: uplink/ingestion cost shows up in traces next to the chain.
+        self.spans = None
 
     def _emit(self, record: TelemetryRecord) -> None:
         self.sink(record)
         self.emitted += 1
+        if self.spans is not None:
+            self.spans.instant(
+                "telemetry.emit",
+                "telemetry",
+                ts=record.timestamp_ns,
+                kind=record.kind.value,
+                seq=record.seq,
+            )
 
     def _next_seq(self) -> int:
         seq = self.seq
@@ -198,6 +210,7 @@ def attach_stack(stack, emitter: TelemetryEmitter, manager=None) -> MonitorTelem
     """Wire a live stack's monitors (and optional degradation manager)
     to *emitter*; returns the installed sink."""
     sink = MonitorTelemetrySink(emitter, stack_chain_map(stack))
+    emitter.spans = getattr(stack.sim, "spans", None)
     for runtime in stack.local_runtimes.values():
         runtime.telemetry_sinks.append(sink)
     for monitor in stack.remote_monitors.values():

@@ -11,6 +11,14 @@ monitoring) to measure segment latencies").  This package mirrors that:
 - :mod:`~repro.tracing.analysis` reconstructs per-segment latency
   series from the buffered communication events, pairing the n-th start
   with the n-th end event (valid under in-order delivery).
+- :mod:`~repro.tracing.spans` adds *causal* span tracing on top: a
+  recorder attached as ``sim.spans`` collects parent-linked intervals
+  across kernel dispatch, DDS hops, executors and monitors.
+- :mod:`~repro.tracing.critical_path` walks the span graph backwards
+  per chain instance and attributes the end-to-end latency to edges
+  whose durations sum exactly to it.
+- :mod:`~repro.tracing.export` writes Chrome ``trace_event`` JSON and
+  compact JSONL.
 """
 
 from repro.tracing.tracer import TraceEvent, Tracer
@@ -19,6 +27,22 @@ from repro.tracing.analysis import (
     segment_latencies_from_trace,
     chain_trace_from_tracer,
 )
+from repro.tracing.spans import Span, SpanRecorder
+from repro.tracing.context import SpanContext
+from repro.tracing.critical_path import (
+    CriticalPath,
+    CriticalPathAnalyzer,
+    attribute_chain,
+    build_edges,
+    render_attribution,
+    validate_spans,
+)
+from repro.tracing.export import (
+    chrome_trace,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
 
 __all__ = [
     "TraceEvent",
@@ -26,4 +50,17 @@ __all__ = [
     "endpoint_events",
     "segment_latencies_from_trace",
     "chain_trace_from_tracer",
+    "Span",
+    "SpanRecorder",
+    "SpanContext",
+    "CriticalPath",
+    "CriticalPathAnalyzer",
+    "attribute_chain",
+    "build_edges",
+    "render_attribution",
+    "validate_spans",
+    "chrome_trace",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

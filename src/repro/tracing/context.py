@@ -1,0 +1,40 @@
+"""Span contexts: the propagated identity of a span.
+
+A :class:`SpanContext` is the minimal value that travels with causality
+-- through scheduled kernel events, DDS samples, executor queue entries
+and monitor bookkeeping -- so that work performed later (or elsewhere)
+can be parented to the span that caused it.  It is intentionally tiny:
+two integers, no reference to the recorder or the span object itself,
+which keeps captured contexts safe to stash anywhere without pinning
+span payloads alive semantics-wise.
+
+Identifiers are allocated by :class:`~repro.tracing.spans.SpanRecorder`
+from plain per-recorder counters, so two runs with the same seed assign
+identical ids -- trace exports are byte-stable, like everything else in
+the simulator.
+"""
+
+from __future__ import annotations
+
+
+class SpanContext:
+    """Immutable (trace_id, span_id) pair identifying one span."""
+
+    __slots__ = ("trace_id", "span_id")
+
+    def __init__(self, trace_id: int, span_id: int) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, SpanContext)
+            and other.span_id == self.span_id
+            and other.trace_id == self.trace_id
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.trace_id, self.span_id))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanContext(trace={self.trace_id}, span={self.span_id})"

@@ -1,0 +1,135 @@
+"""Span exporters: Chrome ``trace_event`` JSON and compact JSONL.
+
+The Chrome format loads directly in ``about:tracing`` / Perfetto: spans
+become complete events (``ph: "X"``) on one row per category, grouped
+into one process per trace (chain instance), with instants (publication
+marks, degradation transitions) as ``ph: "i"``.  Timestamps are
+microseconds as the format requires; the original integer nanoseconds
+survive in ``args``.
+
+The JSONL format is the lossless interchange: one span per line,
+round-trippable via :func:`read_jsonl` for offline analysis of a run
+recorded elsewhere (e.g. a CI artifact).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterator, List
+
+from repro.tracing.spans import Span, SpanRecorder
+
+
+def chrome_trace(recorder: SpanRecorder) -> Dict[str, Any]:
+    """The ``trace_event`` JSON document for *recorder*'s spans."""
+    events: List[Dict[str, Any]] = []
+    seen_traces = set()
+    for span in recorder.spans:
+        if span.trace_id not in seen_traces:
+            seen_traces.add(span.trace_id)
+            events.append({
+                "ph": "M",
+                "name": "process_name",
+                "pid": span.trace_id,
+                "args": {"name": f"trace {span.trace_id}"},
+            })
+        args = dict(span.attrs)
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        if span.links:
+            args["links"] = list(span.links)
+        args["start_ns"] = span.start
+        end = span.start if span.end is None else span.end
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.category,
+            "pid": span.trace_id,
+            "tid": span.category,
+            "ts": span.start / 1000.0,
+            "args": args,
+        }
+        if end > span.start:
+            event["ph"] = "X"
+            event["dur"] = (end - span.start) / 1000.0
+            args["dur_ns"] = end - span.start
+        else:
+            event["ph"] = "i"
+            event["s"] = "t"
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(recorder: SpanRecorder, path: str) -> int:
+    """Write the Chrome trace of *recorder* to *path*; returns #events."""
+    document = chrome_trace(recorder)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, separators=(",", ":"))
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# JSONL (lossless round-trip)
+# ----------------------------------------------------------------------
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    """The compact JSONL record of one span."""
+    record: Dict[str, Any] = {
+        "name": span.name,
+        "cat": span.category,
+        "trace": span.trace_id,
+        "id": span.span_id,
+        "start": span.start,
+        "end": span.end,
+    }
+    if span.parent_id is not None:
+        record["parent"] = span.parent_id
+    if span.links:
+        record["links"] = list(span.links)
+    if span.attrs:
+        record["attrs"] = span.attrs
+    return record
+
+
+def span_from_dict(record: Dict[str, Any]) -> Span:
+    """Reconstruct a span from its JSONL record."""
+    span = Span(
+        name=record["name"],
+        category=record["cat"],
+        trace_id=record["trace"],
+        span_id=record["id"],
+        parent_id=record.get("parent"),
+        start=record["start"],
+        attrs=record.get("attrs", {}),
+    )
+    span.end = record["end"]
+    span.links = list(record.get("links", []))
+    return span
+
+
+def to_jsonl(recorder: SpanRecorder) -> Iterator[str]:
+    """One JSON line per recorded span, in recording order."""
+    for span in recorder.spans:
+        yield json.dumps(span_to_dict(span), separators=(",", ":"))
+
+
+def write_jsonl(recorder: SpanRecorder, path: str) -> int:
+    """Write the JSONL export to *path*; returns the span count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for line in to_jsonl(recorder):
+            handle.write(line)
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: str) -> List[Span]:
+    """Load spans back from a JSONL export (lossless round-trip)."""
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(span_from_dict(json.loads(line)))
+    return spans

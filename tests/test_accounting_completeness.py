@@ -15,6 +15,9 @@ from repro.experiments.common import interference_governor
 from repro.perception import PerceptionStack, StackConfig
 from repro.sim import msec
 
+#: Whole module exercises multi-second stack/campaign runs.
+pytestmark = pytest.mark.slow
+
 N_FRAMES = 120
 
 

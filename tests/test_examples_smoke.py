@@ -42,6 +42,13 @@ class TestExamples:
         assert "store digest matches the fault-free reference" in out
         assert "VIOLATED" not in out
 
+    def test_trace_attribution(self):
+        out = run_example("trace_attribution.py")
+        assert "well-formed spans" in out
+        assert "edges sum exactly to the end-to-end latency (residual = 0ns)" in out
+        assert "budget burn" in out
+        assert "chrome trace events" in out
+
     def test_examples_exist_and_have_docstrings(self):
         expected = {
             "quickstart.py",
@@ -53,6 +60,7 @@ class TestExamples:
             "parallel_campaign.py",
             "telemetry_fleet.py",
             "telemetry_uplink.py",
+            "trace_attribution.py",
         }
         found = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= found

@@ -54,6 +54,8 @@ class TestFig06:
 
 
 class TestFig09:
+    pytestmark = pytest.mark.slow
+
     def test_small_run(self):
         from repro.experiments.fig09_segment_latencies import run_fig09
 
@@ -64,6 +66,8 @@ class TestFig09:
 
 
 class TestFig10:
+    pytestmark = pytest.mark.slow
+
     def test_exception_cases_only(self):
         from repro.experiments.fig10_exception_latencies import run_fig10
 

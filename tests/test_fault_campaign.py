@@ -13,6 +13,9 @@ from repro.faults import (
     run_default_campaign,
 )
 
+#: Whole module exercises multi-second stack/campaign runs.
+pytestmark = pytest.mark.slow
+
 N_FRAMES = 40
 
 

@@ -16,6 +16,9 @@ from repro.faults import (
 )
 from repro.perception import PerceptionStack, StackConfig
 
+#: Whole module exercises multi-second stack/campaign runs.
+pytestmark = pytest.mark.slow
+
 
 def build_stack(seed=11):
     return PerceptionStack(StackConfig(seed=seed))

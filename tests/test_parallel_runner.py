@@ -14,6 +14,9 @@ from repro.experiments.parallel import (
 )
 from repro.faults.campaign import CampaignConfig, FaultCampaign, default_scenarios
 
+#: Whole module exercises multi-second stack/campaign runs.
+pytestmark = pytest.mark.slow
+
 SCENARIOS = ["loss_burst", "clock_step", "silent_sensor_boot"]
 N_FRAMES = 16  # minimum the config admits with default warmup/tail
 

@@ -18,6 +18,8 @@ from repro.perception.stack import PerceptionStack, StackConfig
 
 
 class TestDetectionQuality:
+    pytestmark = pytest.mark.slow
+
     def test_cluster_count_tracks_scene_objects(self):
         """On fused frames, the number of detected clusters approximates
         the number of objects both lidars can see."""

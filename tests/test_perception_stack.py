@@ -89,6 +89,8 @@ class TestTraceReconstruction:
 
 
 class TestMonitoringUnderLoad:
+    pytestmark = pytest.mark.slow
+
     def test_overloaded_ecu2_capped_by_monitor(self):
         """Heavy interference: monitored latencies never exceed
         d_mon + sub-ms overshoot (the Fig. 9 'with monitoring' claim)."""
@@ -139,6 +141,8 @@ class TestMonitoringUnderLoad:
 
 
 class TestSwitchedTransport:
+    pytestmark = pytest.mark.slow
+
     def test_stack_runs_over_shared_switch(self):
         stack = PerceptionStack(StackConfig(
             seed=4, use_switch=True, switch_port_rate_bps=200e6,

@@ -1,0 +1,196 @@
+"""Property-based tests of span-tree well-formedness and attribution.
+
+Three families:
+
+- *Synthetic trees*: arbitrary interleavings of stack-disciplined
+  begin/end programs across several traces must produce well-formed
+  forests (single root per trace, child intervals nested inside their
+  parents, no dangling references).
+- *Edge telescoping*: for any causally-ordered span path, the edges
+  built by :func:`~repro.tracing.critical_path.build_edges` are
+  non-negative and sum exactly to ``last.end - first.start``.
+- *Order invariance*: critical-path attribution of a real run does not
+  depend on the recorder's emission order (any permutation of the span
+  list yields identical paths and edges).
+"""
+
+import random
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.perception.stack import PerceptionStack, StackConfig
+from repro.tracing.critical_path import (
+    CriticalPathAnalyzer,
+    build_edges,
+    validate_spans,
+)
+from repro.tracing.spans import Span, SpanRecorder
+
+
+class _FakeSim:
+    """A stand-in simulator: just a clock the test advances."""
+
+    def __init__(self):
+        self.now = 0
+
+
+# ----------------------------------------------------------------------
+# Synthetic interleaved trees
+# ----------------------------------------------------------------------
+@st.composite
+def interleaved_programs(draw):
+    """Per-trace nested begin/end programs plus an interleaving order.
+
+    Each trace's program is a Dyck word (balanced brackets, root first);
+    the merge order interleaves the traces arbitrarily while preserving
+    each trace's own op order.  Clock increments between ops are drawn
+    too, so sibling spans may touch or be separated.
+    """
+    n_traces = draw(st.integers(min_value=1, max_value=4))
+    programs = []
+    for _ in range(n_traces):
+        n_spans = draw(st.integers(min_value=1, max_value=8))
+        ops = ["begin"]
+        opened, closed = 1, 0
+        while closed < n_spans:
+            can_open = opened - closed > 0  # root still open
+            if opened < n_spans and can_open and draw(st.booleans()):
+                ops.append("begin")
+                opened += 1
+            elif opened - closed > 0:
+                ops.append("end")
+                closed += 1
+            else:
+                break
+        programs.append(ops)
+    # Interleaving: a shuffled multiset of trace indices.
+    deck = [t for t, ops in enumerate(programs) for _ in ops]
+    order = draw(st.permutations(deck))
+    increments = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=50),
+            min_size=len(deck), max_size=len(deck),
+        )
+    )
+    return programs, order, increments
+
+
+@given(interleaved_programs())
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_interleaved_programs_build_wellformed_forests(program):
+    programs, order, increments = program
+    sim = _FakeSim()
+    recorder = SpanRecorder(sim)
+    cursors = [0] * len(programs)
+    stacks = [[] for _ in programs]  # open spans per trace, LIFO
+    for step, trace_index in enumerate(order):
+        sim.now += increments[step]
+        op = programs[trace_index][cursors[trace_index]]
+        cursors[trace_index] += 1
+        stack = stacks[trace_index]
+        if op == "begin":
+            parent = stack[-1].context if stack else None
+            stack.append(
+                recorder.begin(f"t{trace_index}", "compute", parent=parent)
+            )
+        else:
+            recorder.end(stack.pop())
+    assert all(not stack for stack in stacks)
+    assert recorder.open_spans == 0
+    assert validate_spans(recorder) == []
+    # Strict interval nesting: LIFO close discipline + monotone clock.
+    by_id = {span.span_id: span for span in recorder.spans}
+    roots = set()
+    for span in recorder.spans:
+        if span.parent_id is None:
+            roots.add(span.trace_id)
+            continue
+        parent = by_id[span.parent_id]
+        assert parent.start <= span.start
+        assert span.end <= parent.end
+    assert len(roots) == len(programs)
+
+
+# ----------------------------------------------------------------------
+# Edge telescoping over arbitrary causal paths
+# ----------------------------------------------------------------------
+@st.composite
+def causal_paths(draw):
+    """A path of spans with non-decreasing starts and end >= start."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    start_gaps = draw(
+        st.lists(st.integers(min_value=0, max_value=100),
+                 min_size=n, max_size=n)
+    )
+    durations = draw(
+        st.lists(st.integers(min_value=0, max_value=100),
+                 min_size=n, max_size=n)
+    )
+    spans = []
+    clock = draw(st.integers(min_value=0, max_value=1000))
+    parent = None
+    for index in range(n):
+        clock += start_gaps[index]
+        span = Span(
+            name=f"s{index}",
+            category="compute" if index % 2 else "network",
+            trace_id=1,
+            span_id=index + 1,
+            parent_id=parent,
+            start=clock,
+            attrs={},
+        )
+        span.end = clock + durations[index]
+        parent = span.span_id
+        spans.append(span)
+    return spans
+
+
+@given(causal_paths())
+@settings(max_examples=120, deadline=None)
+def test_edges_always_telescope(path_spans):
+    edges = build_edges(path_spans)
+    assert all(edge.duration >= 0 for edge in edges)
+    expected = path_spans[-1].end - path_spans[0].start
+    assert sum(edge.duration for edge in edges) == expected
+
+
+# ----------------------------------------------------------------------
+# Emission-order invariance on a real run
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def recorded_run():
+    stack = PerceptionStack(StackConfig(seed=7, link_loss=0.08, spans=True))
+    stack.run(n_frames=8)
+    analyzer = CriticalPathAnalyzer(stack.spans)
+    reference = {}
+    for name, chain in stack.chains.items():
+        for path in analyzer.analyze(chain, range(8)):
+            reference[(name, path.frame)] = [
+                (e.name, e.category, e.start, e.end) for e in path.edges
+            ]
+    assert reference
+    return stack, reference
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_attribution_invariant_under_emission_shuffles(recorded_run, seed):
+    stack, reference = recorded_run
+    shuffled = SpanRecorder(stack.sim)
+    shuffled.spans = list(stack.spans.spans)
+    random.Random(seed).shuffle(shuffled.spans)
+    shuffled._by_id = {span.span_id: span for span in shuffled.spans}
+    analyzer = CriticalPathAnalyzer(shuffled)
+    observed = {}
+    for name, chain in stack.chains.items():
+        for path in analyzer.analyze(chain, range(8)):
+            observed[(name, path.frame)] = [
+                (e.name, e.category, e.start, e.end) for e in path.edges
+            ]
+    assert observed == reference

@@ -8,6 +8,9 @@ from repro.experiments.common import interference_governor
 from repro.perception import PerceptionStack, StackConfig
 from repro.sim import msec
 
+#: Whole module exercises multi-second stack/campaign runs.
+pytestmark = pytest.mark.slow
+
 
 class TestOnlineSupervision:
     def test_violation_callback_fires_during_run(self):

@@ -1,0 +1,52 @@
+"""The tracing-overhead A/B gate: replica fidelity and verdict logic."""
+
+from repro.bench.tracing_gate import (
+    GateResult,
+    _BaselineSim,
+    _drive,
+    run_gate,
+)
+from repro.sim import Simulator
+
+
+class TestBaselineReplica:
+    def test_replica_matches_real_kernel_semantics(self):
+        n = 500
+        replica = _BaselineSim()
+        real = Simulator()
+        assert _drive(replica, n) == _drive(real, n) == n
+        assert replica.now == real.now == n - 1
+
+    def test_replica_honours_cancellation(self):
+        sim = _BaselineSim()
+        fired = []
+        keep = sim.schedule_at(1, fired.append, "keep")
+        sim.schedule_at(2, fired.append, "dropped").cancel()
+        assert sim.run() == 1
+        assert fired == ["keep"]
+        assert not keep.cancelled
+
+
+class TestGate:
+    def test_gate_runs_and_reports(self):
+        result = run_gate(trials=3, n_events=2000, threshold=0.5)
+        assert isinstance(result, GateResult)
+        assert result.baseline_median_ns > 0
+        assert result.guarded_median_ns > 0
+        assert result.recorder_median_ns > 0
+        text = result.render()
+        assert "pre-tracing replica" in text
+        assert ("PASS" in text) == result.passed
+        # The disabled path must at the very least not be catastrophically
+        # slower than the replica; the tight 3% bound is enforced by the
+        # dedicated CI gate where trial counts are higher.
+        assert result.disabled_overhead < 0.5
+
+    def test_verdict_threshold_boundary(self):
+        kwargs = dict(
+            trials=1, n_events=1, baseline_median_ns=100,
+            guarded_median_ns=103, recorder_median_ns=110,
+            disabled_overhead=0.03, enabled_overhead=0.10,
+        )
+        assert GateResult(threshold=0.03, **kwargs).passed
+        assert not GateResult(threshold=0.029, **kwargs).passed
