@@ -1,0 +1,187 @@
+"""Server-side epoch distribution over the (unreliable) downlink.
+
+The distributor mirrors the uplink client's discipline, flipped: the
+*server* retries and the *vehicle* acknowledges only what it has made
+durable.  Per vehicle there is exactly one target epoch -- the newest
+published one -- and it is resent on a fixed cadence until a covering
+ack arrives.  Monotonic epoch ids make every retry safe: a stale or
+duplicated frame is recognized and re-acked (idempotent) vehicle-side,
+and a stale ack is recognized and dropped here.
+
+Durability ordering is append-before-publish: the
+:class:`~repro.adaptive.epochs.EpochLedger` records the publication
+*before* the first frame is offered to the channel, and records every
+vehicle ack as it arrives -- so a recovered server knows exactly which
+vehicles still need the current epoch and re-targets only those.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Set
+
+from repro.adaptive.epochs import BudgetEpoch, EpochLedger
+from repro.telemetry.uplink.transport import (
+    EPOCH_ACK_SCHEMA,
+    encode_epoch_frame,
+)
+
+
+@dataclass
+class DistributorConfig:
+    """Retry cadence, in virtual steps."""
+
+    resend_every: int = 8
+
+    def __post_init__(self) -> None:
+        if self.resend_every < 1:
+            raise ValueError("resend_every must be >= 1")
+
+
+class EpochDistributor:
+    """Retrying exactly-once epoch rollout to a vehicle cohort."""
+
+    def __init__(
+        self,
+        send: Callable[[str, str, int], object],
+        ledger: EpochLedger,
+        config: Optional[DistributorConfig] = None,
+    ):
+        #: ``send(payload, vehicle, now)`` hands a frame to the channel.
+        self._send = send
+        self.ledger = ledger
+        self.config = config or DistributorConfig()
+        #: vehicle -> epoch it still owes an ack for.
+        self._outstanding: Dict[str, BudgetEpoch] = {}
+        self._next_send: Dict[str, int] = {}
+        #: vehicle -> (epoch_id, status) of the newest ack seen.
+        self.acked: Dict[str, tuple] = dict(ledger.acks)
+        # Counters.
+        self.frames_sent = 0
+        self.resends = 0
+        self.acks = 0
+        self.stale_acks = 0
+
+    # ------------------------------------------------------------------
+    def publish(
+        self, epoch: BudgetEpoch, cohort: Sequence[str], stage: str
+    ) -> None:
+        """Target *cohort* with *epoch*; ledger first, frames later.
+
+        Raises :class:`~repro.adaptive.epochs.EpochLedgerError` when
+        the epoch has no validation on record -- the invariant gate.
+        """
+        self.ledger.record_published(
+            epoch.epoch_id, stage, tuple(cohort)
+        )
+        for vehicle in sorted(cohort):
+            held = self.acked.get(vehicle)
+            if held is not None and held[0] >= epoch.epoch_id \
+                    and held[1] == "applied":
+                continue  # already on (or past) this epoch
+            self._outstanding[vehicle] = epoch
+            self._next_send[vehicle] = 0  # due immediately
+
+    def retarget(self, epoch: BudgetEpoch, cohort: Sequence[str]) -> None:
+        """Re-arm deliveries after a server recovery (no ledger entry:
+        the publication is already on record)."""
+        for vehicle in sorted(cohort):
+            held = self.acked.get(vehicle)
+            if held is not None and held[0] >= epoch.epoch_id \
+                    and held[1] == "applied":
+                continue
+            self._outstanding[vehicle] = epoch
+            self._next_send[vehicle] = 0
+
+    # ------------------------------------------------------------------
+    def tick(self, now: int) -> int:
+        """Send / resend due frames; returns how many went out."""
+        sent = 0
+        for vehicle in sorted(self._outstanding):
+            due = self._next_send.get(vehicle)
+            if due is None or now < due:
+                continue
+            epoch = self._outstanding[vehicle]
+            self._send(
+                encode_epoch_frame(vehicle, epoch.to_json()), vehicle, now
+            )
+            self.frames_sent += 1
+            if due > 0:
+                self.resends += 1
+            sent += 1
+            # A zero-latency channel may deliver the ack from inside
+            # the send itself; re-arming then would resurrect a retry
+            # for a vehicle that has already settled.
+            if vehicle in self._outstanding:
+                self._next_send[vehicle] = now + self.config.resend_every
+        return sent
+
+    # ------------------------------------------------------------------
+    def on_ack(self, doc: dict, now: int) -> bool:
+        """Fold one decoded epoch-ack envelope; True on progress."""
+        if (
+            not isinstance(doc, dict)
+            or doc.get("schema") != EPOCH_ACK_SCHEMA
+            or not isinstance(doc.get("vehicle"), str)
+            or not isinstance(doc.get("epoch_id"), int)
+            or doc.get("status") not in ("applied", "deferred")
+        ):
+            return False
+        vehicle = doc["vehicle"]
+        epoch_id = doc["epoch_id"]
+        status = doc["status"]
+        held = self.acked.get(vehicle)
+        if held is not None and (
+            held[0] > epoch_id
+            or (held[0] == epoch_id and held == (epoch_id, "applied"))
+        ):
+            self.stale_acks += 1
+            return False
+        self.acks += 1
+        self.acked[vehicle] = (epoch_id, status)
+        self.ledger.record_ack(vehicle, epoch_id, status)
+        target = self._outstanding.get(vehicle)
+        if target is not None and epoch_id >= target.epoch_id:
+            # Durable vehicle-side (applied or deferred): stop resending.
+            # A deferred vehicle re-acks "applied" on its own once the
+            # degradation ladder clears; nothing further to deliver.
+            del self._outstanding[vehicle]
+            del self._next_send[vehicle]
+        return True
+
+    # ------------------------------------------------------------------
+    def outstanding(self) -> Dict[str, int]:
+        return {
+            vehicle: epoch.epoch_id
+            for vehicle, epoch in sorted(self._outstanding.items())
+        }
+
+    def applied_by(self, epoch_id: int) -> Set[str]:
+        """Vehicles whose newest ack applies *epoch_id* (or newer)."""
+        return {
+            vehicle
+            for vehicle, (acked_id, status) in self.acked.items()
+            if acked_id >= epoch_id and status == "applied"
+        }
+
+    def settled(self, epoch_id: int, cohort: Sequence[str]) -> bool:
+        """Every cohort vehicle has applied *epoch_id* (or newer)."""
+        return set(cohort) <= self.applied_by(epoch_id)
+
+    def idle(self) -> bool:
+        return not self._outstanding
+
+    def stats(self) -> dict:
+        return {
+            "frames_sent": self.frames_sent,
+            "resends": self.resends,
+            "acks": self.acks,
+            "stale_acks": self.stale_acks,
+            "outstanding": self.outstanding(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<EpochDistributor outstanding={len(self._outstanding)} "
+            f"acks={self.acks}>"
+        )

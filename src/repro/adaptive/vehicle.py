@@ -1,0 +1,319 @@
+"""Vehicle-side epoch reception: durable, monotonic, exactly-once.
+
+The agent mirrors the uplink's append-before-ack rule for the reverse
+direction: an epoch frame is appended to the vehicle's epoch WAL (CRC
+line framing) and flushed *before* any acknowledgment is produced, so
+a crash after the ack can always rebuild the acknowledged state.
+
+Application is **atomic and exactly-once**: ``install`` receives the
+whole :class:`~repro.adaptive.epochs.BudgetEpoch` (never a partial
+budget map), an ``applied`` marker is appended first, and replay
+deduplicates by epoch id -- a crash *between* the ``recv`` append and
+the ``applied`` marker recovers to "durably received, not yet applied"
+and applies exactly once on recovery, never half.
+
+The degradation ladder gates application: while the vehicle is
+DEGRADED or SAFE a received epoch is acked ``deferred`` (it is durable,
+so the server stops resending) and parked; the transition back to
+NORMAL applies the newest parked epoch exactly once and emits the
+``applied`` ack.  Monotonicity: epoch ids only move forward -- a stale
+or duplicate frame is re-acked with its recorded status and changes
+nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, List, Optional, Set, Tuple
+
+from repro.adaptive.epochs import BudgetEpoch
+from repro.faults.degradation import DegradationMode
+from repro.telemetry.uplink.transport import (
+    decode_envelope,
+    decode_epoch_frame,
+    encode_epoch_ack,
+)
+from repro.telemetry.uplink.wal import decode_entry, encode_entry
+
+
+class SimulatedApplyCrash(RuntimeError):
+    """Chaos-harness signal: the process died *after* durably receiving
+    an epoch but *before* applying it (the torn-apply window)."""
+
+
+@dataclass
+class VehicleRecoveryReport:
+    """What :meth:`VehicleEpochAgent.recover` rebuilt from disk."""
+
+    entries: int = 0
+    truncated_tail: bool = False
+    #: An epoch was durably received but not applied before the crash.
+    pending_apply: bool = False
+
+
+class VehicleEpochAgent:
+    """Receives, defers, applies and acknowledges budget epochs."""
+
+    def __init__(
+        self,
+        source: str,
+        directory: Path,
+        fsync: str = "never",
+        install: Optional[Callable[[BudgetEpoch], None]] = None,
+        initial: Optional[BudgetEpoch] = None,
+    ):
+        self.source = source
+        self.directory = Path(directory)
+        self.fsync = fsync
+        self.install = install
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._file = open(self._wal_path(), "a", encoding="utf-8")
+        self.mode = DegradationMode.NORMAL
+        #: The epoch whose budgets the vehicle's monitors run right now.
+        self.active: Optional[BudgetEpoch] = None
+        #: Durably received, waiting for the ladder to clear.
+        self.pending: Optional[BudgetEpoch] = None
+        # Ground-truth ledger sets (ids; disjoint classification).
+        self.received: Set[int] = set()
+        self.applied: Set[int] = set()
+        self.superseded: Set[int] = set()
+        # Counters.
+        self.frames = 0
+        self.foreign_frames = 0
+        self.stale_frames = 0
+        self.applies = 0
+        self.deferrals = 0
+        #: Chaos hook: die (once) in the window between the durable
+        #: ``recv`` append and the ``applied`` marker.
+        self.fail_after_recv = False
+        if initial is not None:
+            # The factory baseline: installed directly, not via wire.
+            self.active = initial
+            if self.install is not None:
+                self.install(initial)
+
+    # ------------------------------------------------------------------
+    def _wal_path(self) -> Path:
+        return self.directory / "epochs.log"
+
+    def _append(self, fields: list) -> None:
+        body = json.dumps(fields, separators=(",", ":"))
+        self._file.write(encode_entry(body) + "\n")
+        self._file.flush()
+        if self.fsync == "always":
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    @property
+    def highest_seen(self) -> int:
+        candidates = [eid for eid in self.received]
+        if self.active is not None:
+            candidates.append(self.active.epoch_id)
+        return max(candidates) if candidates else -1
+
+    def handle_frame(self, payload: str, now: int = 0) -> Optional[str]:
+        """Process one downlink datagram; returns the ack payload (to
+        go back up the uplink) or ``None`` for frames that are not a
+        well-formed epoch frame for this vehicle."""
+        doc = decode_envelope(payload)
+        frame = decode_epoch_frame(doc) if doc is not None else None
+        if frame is None:
+            return None
+        vehicle, epoch_doc = frame
+        if vehicle != self.source:
+            self.foreign_frames += 1
+            return None
+        try:
+            epoch = BudgetEpoch.from_json(epoch_doc)
+        except (ValueError, KeyError, TypeError):
+            self.foreign_frames += 1
+            return None
+        self.frames += 1
+        if epoch.epoch_id <= self.highest_seen:
+            # Duplicate or stale: idempotent re-ack with recorded
+            # status; nothing is re-applied, nothing re-logged.
+            self.stale_frames += 1
+            return encode_epoch_ack(
+                self.source, epoch.epoch_id, self._status_of(epoch.epoch_id)
+            )
+        # Fresh: durable before any acknowledgment.
+        self._append(["recv", epoch.to_json()])
+        self.received.add(epoch.epoch_id)
+        if self.fail_after_recv:
+            self.fail_after_recv = False
+            raise SimulatedApplyCrash(self.source)
+        if self.pending is not None:
+            # A newer epoch supersedes a parked one that never ran.
+            self.superseded.add(self.pending.epoch_id)
+            self.pending = None
+        if self.mode is DegradationMode.NORMAL:
+            self._apply(epoch)
+            return encode_epoch_ack(self.source, epoch.epoch_id, "applied")
+        self.pending = epoch
+        self.deferrals += 1
+        return encode_epoch_ack(self.source, epoch.epoch_id, "deferred")
+
+    def _status_of(self, epoch_id: int) -> str:
+        if epoch_id in self.applied or (
+            self.active is not None and epoch_id <= self.active.epoch_id
+        ):
+            return "applied"
+        if self.pending is not None and self.pending.epoch_id == epoch_id:
+            return "deferred"
+        return "applied" if epoch_id in self.applied else "deferred"
+
+    def _apply(self, epoch: BudgetEpoch) -> None:
+        # Marker first: if install side effects ever crashed the
+        # process, replay would re-run the (atomic, whole-epoch)
+        # install rather than leave half-applied budgets behind.
+        self._append(["applied", epoch.epoch_id])
+        self.active = epoch
+        self.applied.add(epoch.epoch_id)
+        self.applies += 1
+        if self.install is not None:
+            self.install(epoch)
+
+    # ------------------------------------------------------------------
+    def set_mode(self, mode: DegradationMode, now: int = 0) -> Optional[str]:
+        """Move along the degradation ladder.  Returning to NORMAL
+        applies the parked epoch exactly once; the returned ack payload
+        (if any) must be sent up so the server sees ``applied``."""
+        self.mode = mode
+        if mode is not DegradationMode.NORMAL or self.pending is None:
+            return None
+        epoch = self.pending
+        self.pending = None
+        self._apply(epoch)
+        return encode_epoch_ack(self.source, epoch.epoch_id, "applied")
+
+    # ------------------------------------------------------------------
+    def kill(self, torn_tail: bool = False) -> None:
+        """Simulate process death; *torn_tail* half-writes the newest
+        WAL line (crash mid-append)."""
+        if not self._file.closed:
+            self._file.flush()
+            self._file.close()
+        if torn_tail:
+            path = self._wal_path()
+            raw = path.read_bytes()
+            lines = raw.split(b"\n")
+            if len(lines) >= 2 and lines[-2]:
+                last = lines[-2]
+                kept = raw[: len(raw) - len(last) - 1]
+                path.write_bytes(kept + last[: len(last) // 2])
+
+    def close(self) -> None:
+        if not self._file.closed:
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def recover(
+        cls,
+        source: str,
+        directory: Path,
+        fsync: str = "never",
+        install: Optional[Callable[[BudgetEpoch], None]] = None,
+        initial: Optional[BudgetEpoch] = None,
+    ) -> Tuple["VehicleEpochAgent", VehicleRecoveryReport]:
+        """Rebuild the agent from its epoch WAL.
+
+        Replay classifies every durably received epoch: the newest
+        ``applied`` marker wins the active slot; a newer ``recv``
+        without a marker is the torn-apply case and comes back as
+        ``pending`` -- :meth:`apply_pending_if_normal` (or the next
+        :meth:`set_mode` to NORMAL) applies it exactly once.  A torn
+        final line is truncated: that receive never happened and the
+        server's retry machinery will offer it again.
+        """
+        directory = Path(directory)
+        path = directory / "epochs.log"
+        report = VehicleRecoveryReport()
+        epochs: List[BudgetEpoch] = []
+        applied_ids: List[int] = []
+        kept: List[str] = []
+        lines = (
+            path.read_text(encoding="utf-8").splitlines()
+            if path.exists() else []
+        )
+        for index, line in enumerate(lines):
+            fields = decode_entry(line)
+            if fields is None:
+                if index == len(lines) - 1:
+                    report.truncated_tail = True
+                    break
+                raise ValueError(
+                    f"{path}: corrupt epoch WAL entry mid-file "
+                    f"(line {index})"
+                )
+            kept.append(line)
+            report.entries += 1
+            if fields[0] == "recv":
+                epochs.append(BudgetEpoch.from_json(fields[1]))
+            elif fields[0] == "applied":
+                applied_ids.append(int(fields[1]))
+        if report.truncated_tail:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(
+                "\n".join(kept) + ("\n" if kept else ""), encoding="utf-8"
+            )
+        agent = cls(source, directory, fsync=fsync, install=None,
+                    initial=None)
+        agent.install = install
+        agent.received = {epoch.epoch_id for epoch in epochs}
+        agent.applied = set(applied_ids)
+        by_id = {epoch.epoch_id: epoch for epoch in epochs}
+        active_id = max(applied_ids) if applied_ids else -1
+        if active_id >= 0 and active_id in by_id:
+            agent.active = by_id[active_id]
+        elif initial is not None:
+            agent.active = initial
+        newer = [eid for eid in sorted(by_id) if eid > active_id]
+        if newer:
+            # Everything but the newest unapplied epoch is superseded.
+            for eid in newer[:-1]:
+                agent.superseded.add(eid)
+            agent.pending = by_id[newer[-1]]
+            report.pending_apply = True
+        if agent.active is not None and agent.install is not None:
+            agent.install(agent.active)
+        return agent, report
+
+    def apply_pending_if_normal(self, now: int = 0) -> Optional[str]:
+        """Apply a recovery-parked epoch when the ladder allows it."""
+        if self.mode is DegradationMode.NORMAL and self.pending is not None:
+            return self.set_mode(DegradationMode.NORMAL, now)
+        return None
+
+    # ------------------------------------------------------------------
+    def ledger_json(self) -> dict:
+        """Per-vehicle epoch conservation: every received id is applied,
+        parked (pending) or superseded -- disjointly."""
+        pending_ids = (
+            {self.pending.epoch_id} if self.pending is not None else set()
+        )
+        union = self.applied | self.superseded | pending_ids
+        disjoint = (
+            len(self.applied) + len(self.superseded) + len(pending_ids)
+            == len(union)
+        )
+        return {
+            "received": len(self.received),
+            "applied": len(self.applied),
+            "pending": len(pending_ids),
+            "superseded": len(self.superseded),
+            "balanced": self.received == union and disjoint,
+            "active": (
+                self.active.epoch_id if self.active is not None else None
+            ),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        active = self.active.epoch_id if self.active is not None else None
+        return (
+            f"<VehicleEpochAgent {self.source} mode={self.mode.value} "
+            f"active={active} pending={self.pending is not None}>"
+        )

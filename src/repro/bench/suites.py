@@ -382,6 +382,45 @@ def bench_uplink_roundtrip() -> int:
     return len(records)
 
 
+def bench_budget_resolve() -> int:
+    """Closed-loop re-derivation: resolve d_mon from a fleet window and
+    shadow-validate the resulting epoch (the control plane's hot path).
+    """
+    from repro.adaptive import BudgetEpoch, BudgetResolver, ShadowValidator
+    from repro.adaptive.chaos import fleet_chain
+    from repro.telemetry.records import segment_record
+
+    chain = fleet_chain()
+    rng = np.random.default_rng(13)
+    medians = {"seg0": 4_000_000, "seg1": 6_000_000, "seg2": 8_000_000}
+    records = []
+    seq = 0
+    activations = 256
+    for vehicle in ("veh00", "veh01", "veh02"):
+        for activation in range(activations):
+            for segment, median in medians.items():
+                latency = int(median * rng.lognormal(0.0, 0.18))
+                records.append(segment_record(
+                    vehicle, chain.name, segment, activation, latency,
+                    "ok", (activation + 1) * chain.period, seq,
+                ))
+                seq += 1
+    resolver = BudgetResolver({chain.name: chain})
+    outcome = resolver.resolve(records)
+    assert outcome.ok, "resolver failed on a clean window"
+    candidate = outcome.epoch(epoch_id=1, parent_id=0)
+    baseline = BudgetEpoch(epoch_id=0, budgets={
+        chain.name: {
+            seg.name: int(seg.d_mon) for seg in chain.segments
+        },
+    })
+    verdict = ShadowValidator({chain.name: chain}).validate(
+        records, candidate, baseline
+    )
+    assert verdict.activations == 3 * activations, "replay lost rows"
+    return len(records)
+
+
 #: suite name -> ordered list of (bench name, layer, unit, fn).
 SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
     KERNEL_SUITE: [
@@ -402,6 +441,7 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
         ("fault_scenario", "faults", "frames", bench_fault_scenario),
         ("telemetry_ingest", "telemetry", "records", bench_telemetry_ingest),
         ("uplink_roundtrip", "telemetry", "records", bench_uplink_roundtrip),
+        ("budget_resolve", "adaptive", "records", bench_budget_resolve),
     ],
 }
 

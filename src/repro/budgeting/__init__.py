@@ -34,6 +34,11 @@ from repro.budgeting.solvers import (
     solve_independent,
 )
 from repro.budgeting.distribution import distribute_slack
+from repro.budgeting.feasibility import (
+    InfeasibleBudgetError,
+    feasibility_violations,
+    validate_chain_budgets,
+)
 from repro.budgeting.multichain import (
     MultiChainResult,
     reconcile_independent,
@@ -54,6 +59,9 @@ __all__ = [
     "solve_greedy_propagated",
     "solve_independent",
     "distribute_slack",
+    "InfeasibleBudgetError",
+    "feasibility_violations",
+    "validate_chain_budgets",
     "MultiChainResult",
     "reconcile_independent",
     "solve_joint",

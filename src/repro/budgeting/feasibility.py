@@ -1,0 +1,93 @@
+"""Load-time feasibility validation of configured deadline budgets.
+
+The budgeting CSP (Eqs. 2-7) *derives* deadlines from traces, but a
+scenario (or a hand-edited config) can also assign ``d_mon`` directly.
+An infeasible assignment -- a deadline sum beyond ``B_e2e`` (Eq. 3), a
+segment deadline beyond ``B_seg`` (Eq. 4), or a non-positive monitored
+budget (Eq. 2) -- used to be accepted silently and monitored anyway,
+producing verdicts that no schedulable system could ever meet.  The
+validators here are called when a chain is built so the mistake
+surfaces as a clear :class:`InfeasibleBudgetError` at load time.
+
+The windowed (m,k) constraints (Eqs. 5-7) additionally need a latency
+trace; :func:`validate_chain_budgets` checks them too when one is
+provided, and documents that structural checks alone were possible
+when it is not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.chains import ChainValidationError, EventChain
+
+
+class InfeasibleBudgetError(ChainValidationError):
+    """A configured deadline assignment violates Eqs. 2-5.
+
+    Carries every violated constraint (not just the first) so a
+    mis-configured scenario can be fixed in one pass.
+    """
+
+    def __init__(self, chain_name: str, violations: List[str]):
+        self.chain_name = chain_name
+        self.violations = list(violations)
+        detail = "; ".join(self.violations)
+        super().__init__(
+            f"chain {chain_name}: configured budgets are infeasible "
+            f"({detail})"
+        )
+
+
+def feasibility_violations(
+    chain: EventChain, problem: Optional["object"] = None
+) -> List[str]:
+    """Every Eq. 2-5 violation of *chain*'s assigned deadlines.
+
+    Structural constraints (Eqs. 2-4) come from the chain itself; the
+    windowed miss constraints (Eq. 5) are checked only when a
+    :class:`~repro.budgeting.csp.BudgetingProblem` built from a trace
+    is passed in -- without observed latencies they are vacuous.
+    Segments without an assigned ``d_mon`` are skipped (budgeting has
+    not run yet; nothing is monitored, so nothing can be infeasible).
+    """
+    violations: List[str] = []
+    assigned = [seg for seg in chain.segments if seg.d_mon is not None]
+    if not assigned:
+        return violations
+    for seg in assigned:
+        if seg.d_mon is not None and seg.d_mon <= 0:
+            violations.append(
+                f"Eq.2: d_mon[{seg.name}]={seg.d_mon} must be positive"
+            )
+        deadline = seg.deadline
+        if deadline is not None and deadline > chain.budget_seg:
+            violations.append(
+                f"Eq.4: d[{seg.name}]={deadline} > B_seg={chain.budget_seg}"
+            )
+    if len(assigned) == len(chain.segments):
+        total = sum(seg.deadline for seg in assigned)  # type: ignore[misc]
+        if total > chain.budget_e2e:
+            violations.append(
+                f"Eq.3: sum(d)={total} > B_e2e={chain.budget_e2e}"
+            )
+    if problem is not None:
+        deadlines = [seg.deadline for seg in chain.segments]
+        if all(d is not None for d in deadlines):
+            report = problem.check([int(d) for d in deadlines])
+            violations.extend(
+                v for v in report.violated_constraints
+                if v.startswith("Eq.5")
+            )
+    return violations
+
+
+def validate_chain_budgets(
+    chain: EventChain, problem: Optional["object"] = None
+) -> None:
+    """Raise :class:`InfeasibleBudgetError` when *chain*'s configured
+    deadlines violate Eqs. 2-4 (and Eq. 5, when *problem* carries a
+    trace to check the windowed misses against)."""
+    violations = feasibility_violations(chain, problem)
+    if violations:
+        raise InfeasibleBudgetError(chain.name, violations)

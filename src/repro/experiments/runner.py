@@ -132,6 +132,7 @@ EXPERIMENTS: Dict[str, Callable[[], str]] = {
 #: One-line description of every subcommand, shown in ``--help`` and
 #: mirrored by the README's CLI table (tests keep the two in sync).
 SUBCOMMANDS: Dict[str, str] = {
+    "adapt": "closed-loop budget control plane chaos sweep",
     "all": "run every figure experiment in sequence",
     "bench": "micro/e2e benchmark suites with baseline comparison",
     "budgeting": "deadline-budgeting study (independent, greedy, B&B)",
@@ -178,6 +179,10 @@ def main(argv=None) -> int:
         from repro.tracing.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "adapt":
+        from repro.adaptive.chaos import main as adapt_main
+
+        return adapt_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures ('bench' runs the "
@@ -188,7 +193,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "bench", "chaos", "telemetry", "trace"],
+        choices=sorted(EXPERIMENTS)
+        + ["adapt", "all", "bench", "chaos", "telemetry", "trace"],
         help="which subcommand to run (one-line descriptions below)",
     )
     parser.add_argument(

@@ -378,6 +378,14 @@ class PerceptionStack:
             "rear_objects": chain("rear_objects", "s0_rear", "s1_rear", "s3_objects"),
             "rear_ground": chain("rear_ground", "s0_rear", "s1_rear", "s3_ground"),
         }
+        if cfg.monitoring:
+            # Fail at load time on an infeasible scenario-configured
+            # d_mon assignment (Eqs. 2-4) instead of monitoring with
+            # deadlines no schedulable system could meet.
+            from repro.budgeting.feasibility import validate_chain_budgets
+
+            for event_chain in self.chains.values():
+                validate_chain_budgets(event_chain)
         self.chain_runtimes: Dict[str, ChainRuntime] = {
             name: ChainRuntime(chain) for name, chain in self.chains.items()
         }

@@ -514,6 +514,17 @@ class ChainStateStore:
             for shard in self.shards for state in shard.values()
         )
 
+    def violations_by_source(self) -> Dict[str, int]:
+        """Cumulative (m,k) violations per source (the adaptive control
+        plane's canary-regression signal)."""
+        counts: Dict[str, int] = {}
+        for shard in self.shards:
+            for (source, _chain), state in shard.items():
+                counts[source] = (
+                    counts.get(source, 0) + state.automaton.violations
+                )
+        return counts
+
     # ------------------------------------------------------------------
     # Snapshot / restore
     # ------------------------------------------------------------------

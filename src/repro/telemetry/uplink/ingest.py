@@ -26,7 +26,7 @@ import json
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.telemetry.records import SchemaVersionError, TelemetryRecord
 from repro.telemetry.service import ServiceConfig, TelemetryService
@@ -142,6 +142,10 @@ class UplinkIngestor:
             self._wal_path(), fsync
         )
         self.dedup: Dict[str, DedupWatermark] = {}
+        #: Called with each batch's *fresh* (deduplicated) records just
+        #: after they were applied -- the control plane's observation
+        #: tap.  Soft state: recovery replay does not re-fire it.
+        self.on_fresh: Optional[Callable[[List[TelemetryRecord]], None]] = None
         self._since_checkpoint = 0
         # Counters.
         self.payloads = 0
@@ -212,6 +216,8 @@ class UplinkIngestor:
         if fresh:
             self.service.ingest_many(fresh)
             self.service.pump()
+            if self.on_fresh is not None:
+                self.on_fresh(fresh)
         self._since_checkpoint += 1
         if (
             self.checkpoint_every is not None

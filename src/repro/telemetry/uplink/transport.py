@@ -40,6 +40,10 @@ from repro.telemetry.records import TelemetryRecord
 #: Envelope schema identifiers.
 BATCH_SCHEMA = "repro-uplink-batch/1"
 ACK_SCHEMA = "repro-uplink-ack/1"
+#: Control-plane epoch distribution rides the same channel: an epoch
+#: frame travels the downlink (fleet -> vehicle), its ack the uplink.
+EPOCH_FRAME_SCHEMA = "repro-adaptive-frame/1"
+EPOCH_ACK_SCHEMA = "repro-adaptive-frame-ack/1"
 
 
 # ----------------------------------------------------------------------
@@ -100,6 +104,43 @@ def encode_ack(source: str, batch_id: int, ack_through: int) -> str:
         "source": source,
         "batch_id": batch_id,
         "ack_through": ack_through,
+    })
+
+
+def encode_epoch_frame(vehicle: str, epoch_doc: dict) -> str:
+    """One budget-epoch frame (fleet -> vehicle downlink)."""
+    return encode_envelope({
+        "schema": EPOCH_FRAME_SCHEMA,
+        "vehicle": vehicle,
+        "epoch": epoch_doc,
+    })
+
+
+def decode_epoch_frame(doc: dict) -> Optional[Tuple[str, dict]]:
+    """``(vehicle, epoch_doc)`` of a decoded epoch frame; ``None`` when
+    the envelope is not a well-formed epoch frame."""
+    if (
+        not isinstance(doc, dict)
+        or doc.get("schema") != EPOCH_FRAME_SCHEMA
+        or not isinstance(doc.get("vehicle"), str)
+        or not isinstance(doc.get("epoch"), dict)
+    ):
+        return None
+    return doc["vehicle"], doc["epoch"]
+
+
+def encode_epoch_ack(vehicle: str, epoch_id: int, status: str) -> str:
+    """A vehicle's durable epoch acknowledgment (uplink direction).
+
+    ``status`` is ``applied`` (budgets installed) or ``deferred`` (the
+    epoch is durable vehicle-side but application waits for the
+    degradation ladder to return to NORMAL).
+    """
+    return encode_envelope({
+        "schema": EPOCH_ACK_SCHEMA,
+        "vehicle": vehicle,
+        "epoch_id": epoch_id,
+        "status": status,
     })
 
 

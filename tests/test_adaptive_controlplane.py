@@ -1,0 +1,207 @@
+"""Control plane: canary staging, promotion, rollback, crash recovery."""
+
+import pytest
+
+from repro.adaptive import (
+    BudgetControlPlane,
+    BudgetEpoch,
+    ControlPlaneConfig,
+    ControlPlaneState,
+    EpochLedgerError,
+)
+from repro.adaptive.chaos import fleet_chain
+from repro.telemetry.uplink.transport import EPOCH_ACK_SCHEMA
+from test_adaptive_resolver import steady_rows, window_for
+
+_MS = 1_000_000
+
+VEHICLES = ["veh00", "veh01", "veh02"]
+
+
+class Harness:
+    """A control plane wired to perfectly obedient vehicles: every
+    frame is acked "applied" immediately (no channel, no loss)."""
+
+    def __init__(self, tmp_path, **config):
+        self.chain = fleet_chain()
+        self.sent = []  # (vehicle, epoch_id)
+        self.plane = BudgetControlPlane(
+            {self.chain.name: self.chain}, VEHICLES, tmp_path,
+            send=self._send,
+            config=ControlPlaneConfig(
+                rederive_every=0, canary_count=1, probation_steps=4,
+                regression_margin=0.5, resend_every=4, **config,
+            ),
+        )
+        self.violations = {vehicle: 0 for vehicle in VEHICLES}
+
+    def _send(self, payload, vehicle, now):
+        from repro.telemetry.uplink.transport import decode_envelope
+
+        doc = decode_envelope(payload)
+        epoch_id = doc["epoch"]["epoch_id"]
+        self.sent.append((vehicle, epoch_id))
+        self.plane.on_ack({
+            "schema": EPOCH_ACK_SCHEMA, "vehicle": vehicle,
+            "epoch_id": epoch_id, "status": "applied",
+        }, now=0)
+
+    def run(self, start, steps):
+        for now in range(start, start + steps):
+            self.plane.tick(now, lambda: dict(self.violations))
+        return start + steps
+
+    def settle_bootstrap(self):
+        now = self.run(0, 2)
+        assert self.plane.state is ControlPlaneState.IDLE
+        return now
+
+    def feed_window(self, rows=None):
+        self.plane.observe_many(window_for(
+            self.chain, rows or steady_rows(self.chain, 20)
+        ))
+
+
+class TestBootstrapAndInvariant:
+    def test_bootstrap_publishes_factory_epoch_fleet_wide(self, tmp_path):
+        harness = Harness(tmp_path)
+        harness.settle_bootstrap()
+        assert {v for v, _ in harness.sent} == set(VEHICLES)
+        assert harness.plane.last_good.epoch_id == 0
+        assert harness.plane.ledger.last_published("fleet") == 0
+
+    def test_unvalidated_epoch_cannot_be_published(self, tmp_path):
+        harness = Harness(tmp_path)
+        harness.settle_bootstrap()
+        rogue = BudgetEpoch(
+            epoch_id=harness.plane.ledger.next_epoch_id,
+            budgets={"pipeline": {"seg0": 8 * _MS, "seg1": 10 * _MS,
+                                  "seg2": 12 * _MS}},
+        )
+        harness.plane.ledger.record_epoch(rogue)
+        with pytest.raises(EpochLedgerError, match="no shadow"):
+            harness.plane.distributor.publish(rogue, VEHICLES, "fleet")
+        assert all(eid != rogue.epoch_id for _, eid in harness.sent)
+
+
+class TestCanaryLifecycle:
+    def test_accepted_candidate_canaries_then_promotes(self, tmp_path):
+        harness = Harness(tmp_path)
+        now = harness.settle_bootstrap()
+        harness.feed_window()
+        staged = harness.plane.consider(now)
+        assert staged is not None and staged.epoch_id == 1
+        assert harness.plane.state is ControlPlaneState.CANARY
+        now = harness.run(now, 1)
+        # Only the canary cohort saw the epoch so far.
+        assert {v for v, eid in harness.sent if eid == 1} == {"veh00"}
+        now = harness.run(now, 8)  # probation passes quietly
+        assert harness.plane.promotions == 1
+        assert harness.plane.state is ControlPlaneState.IDLE
+        assert harness.plane.last_good.epoch_id == 1
+        assert {v for v, eid in harness.sent if eid == 1} == set(VEHICLES)
+
+    def test_rejected_candidate_never_reaches_a_vehicle(self, tmp_path):
+        harness = Harness(tmp_path)
+        now = harness.settle_bootstrap()
+        harness.feed_window()
+        bad = BudgetEpoch(
+            epoch_id=harness.plane.ledger.next_epoch_id,
+            budgets={"pipeline": {"seg0": 1 * _MS, "seg1": 10 * _MS,
+                                  "seg2": 12 * _MS}},
+        )
+        assert harness.plane.consider(now, candidate=bad) is None
+        assert harness.plane.rejections == 1
+        assert harness.plane.state is ControlPlaneState.IDLE
+        assert bad.epoch_id in harness.plane.ledger.rejected
+        assert all(eid != bad.epoch_id for _, eid in harness.sent)
+
+    def test_canary_regression_rolls_back_to_last_good(self, tmp_path):
+        harness = Harness(tmp_path)
+        now = harness.settle_bootstrap()
+        harness.feed_window()
+        staged = harness.plane.consider(now)
+        assert staged is not None
+        now = harness.run(now, 2)  # canary applied; probation starts
+        harness.violations["veh00"] += 3  # canary regresses, control flat
+        now = harness.run(now, 8)
+        assert harness.plane.rollback_count == 1
+        assert harness.plane.promotions == 0
+        rollback_id = harness.plane.ledger.rollbacks[0][1]
+        rollback = harness.plane.ledger.epochs[rollback_id]
+        assert rollback.rollback_of == staged.epoch_id
+        # Rollback budgets are byte-identical to the proven assignment.
+        assert rollback.digest() == harness.plane.ledger.epochs[0].digest()
+        assert harness.plane.state is ControlPlaneState.IDLE
+        assert harness.plane.last_good.epoch_id == rollback_id
+
+    def test_fleet_wide_regression_is_not_blamed_on_the_canary(
+        self, tmp_path
+    ):
+        harness = Harness(tmp_path)
+        now = harness.settle_bootstrap()
+        harness.feed_window()
+        assert harness.plane.consider(now) is not None
+        now = harness.run(now, 2)
+        for vehicle in VEHICLES:  # everyone regresses equally
+            harness.violations[vehicle] += 3
+        harness.run(now, 8)
+        assert harness.plane.rollback_count == 0
+        assert harness.plane.promotions == 1
+
+
+class TestRecovery:
+    def test_crash_mid_canary_walks_the_cohort_back(self, tmp_path):
+        harness = Harness(tmp_path)
+        now = harness.settle_bootstrap()
+        harness.feed_window()
+        staged = harness.plane.consider(now)
+        assert staged is not None
+        harness.run(now, 1)  # canary has applied epoch 1
+        harness.plane.close()
+
+        sent = []
+        plane, recovery = BudgetControlPlane.recover(
+            {harness.chain.name: harness.chain}, VEHICLES, tmp_path,
+            send=lambda payload, vehicle, now: sent.append(vehicle),
+        )
+        assert recovery["abandoned"] == [staged.epoch_id]
+        assert recovery["last_good"] == 0
+        # The recovery rollback is ledgered and published fleet-wide.
+        assert plane.ledger.rollbacks[-1][0] == staged.epoch_id
+        rollback_id = plane.ledger.rollbacks[-1][1]
+        assert plane.ledger.status_of(rollback_id).value == "fleet"
+        assert plane.ledger.epochs[rollback_id].digest() == \
+            plane.ledger.epochs[0].digest()
+        plane.tick(0)
+        assert set(sent) == set(VEHICLES)
+        plane.close()
+
+    def test_crash_between_validate_and_publish_abandons_the_draft(
+        self, tmp_path
+    ):
+        harness = Harness(tmp_path)
+        harness.settle_bootstrap()
+        harness.feed_window()
+        # Stage a validated-but-unpublished draft directly on the
+        # ledger (consider() cannot be interrupted mid-call).
+        draft = BudgetEpoch(
+            epoch_id=harness.plane.ledger.next_epoch_id,
+            budgets={"pipeline": {"seg0": 7 * _MS, "seg1": 10 * _MS,
+                                  "seg2": 12 * _MS}},
+        )
+        harness.plane.ledger.record_epoch(draft)
+        harness.plane.ledger.record_validated(draft.epoch_id, {})
+        harness.plane.close()
+
+        sent = []
+        plane, recovery = BudgetControlPlane.recover(
+            {harness.chain.name: harness.chain}, VEHICLES, tmp_path,
+            send=lambda payload, vehicle, now: sent.append(vehicle),
+        )
+        assert recovery["abandoned"] == [draft.epoch_id]
+        # No publication was invented for the draft...
+        assert plane.ledger.status_of(draft.epoch_id).value == "validated"
+        # ...and the fleet re-targets the last published epoch.
+        assert plane.last_good.epoch_id == 0
+        plane.close()

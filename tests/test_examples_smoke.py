@@ -42,6 +42,12 @@ class TestExamples:
         assert "store digest matches the fault-free reference" in out
         assert "VIOLATED" not in out
 
+    def test_adaptive_budgeting(self):
+        out = run_example("adaptive_budgeting.py")
+        assert "ledger refused the publish" in out
+        assert "rollback digest == factory digest" in out
+        assert "applied exactly once" in out
+
     def test_trace_attribution(self):
         out = run_example("trace_attribution.py")
         assert "well-formed spans" in out
@@ -61,6 +67,7 @@ class TestExamples:
             "telemetry_fleet.py",
             "telemetry_uplink.py",
             "trace_attribution.py",
+            "adaptive_budgeting.py",
         }
         found = {p.name for p in EXAMPLES.glob("*.py")}
         assert expected <= found
