@@ -44,6 +44,12 @@ from repro.budgeting.multichain import (
     reconcile_independent,
     solve_joint,
 )
+from repro.budgeting.dag import (
+    DagBudgetingProblem,
+    DagFeasibilityReport,
+    DagSolverResult,
+    solve_dag_budgets,
+)
 
 __all__ = [
     "ChainTrace",
@@ -65,4 +71,8 @@ __all__ = [
     "MultiChainResult",
     "reconcile_independent",
     "solve_joint",
+    "DagBudgetingProblem",
+    "DagFeasibilityReport",
+    "DagSolverResult",
+    "solve_dag_budgets",
 ]

@@ -44,6 +44,8 @@ from repro.core.remote_monitor import (
     TimeoutContext,
 )
 from repro.core.chain_runtime import ActivationOutcome, ChainRuntime, Outcome
+from repro.core.dag import DagChain, DagPath
+from repro.core.dag_runtime import DagChainRuntime
 
 __all__ = [
     "EventKind",
@@ -71,4 +73,7 @@ __all__ = [
     "ActivationOutcome",
     "ChainRuntime",
     "Outcome",
+    "DagChain",
+    "DagPath",
+    "DagChainRuntime",
 ]

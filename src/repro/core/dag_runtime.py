@@ -1,0 +1,193 @@
+"""Per-path (m,k) supervision of DAG event chains.
+
+A :class:`DagChainRuntime` is the DAG analogue of
+:class:`~repro.core.chain_runtime.ChainRuntime`: segment monitors report
+per-activation outcomes, and the runtime folds them into one weakly-hard
+verdict *per root->sink path*.  Path windows are tracked by the
+bit-packed :class:`~repro.telemetry.automata.MKAutomaton` (O(1) memory
+per path) keyed by path id -- the same automaton the fleet store uses,
+whose record-for-record equivalence to
+:class:`~repro.core.weakly_hard.MissWindow` is proven by property tests.
+
+Reports route two ways:
+
+- :meth:`report` mirrors the ``ChainRuntime`` reporter contract
+  (``report(segment, n, outcome, ...)``): a segment outcome lands on
+  every path containing that segment, so existing monitors plug in
+  unchanged.
+- :meth:`report_path` addresses one path explicitly -- used by
+  end-to-end path monitors whose verdict already incorporates which
+  sink deadline applies.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.chain_runtime import (
+    ActivationOutcome,
+    ChainReport,
+    Outcome,
+    SegmentRecord,
+)
+from repro.core.dag import DagChain, DagPath
+from repro.core.exceptions import TemporalException
+from repro.core.weakly_hard import max_window_misses
+from repro.telemetry.automata import MKAutomaton
+
+
+class DagChainRuntime:
+    """Collects monitor reports for one DAG and judges each path."""
+
+    def __init__(
+        self,
+        dag: DagChain,
+        on_violation: Optional[Callable[[str, int, int], None]] = None,
+    ):
+        self.dag = dag
+        self.paths: List[DagPath] = dag.paths()
+        #: path id -> bit-packed online (m,k) checker.
+        self.automata: Dict[str, MKAutomaton] = {
+            p.path_id: MKAutomaton(dag.mk[p.sink]) for p in self.paths
+        }
+        #: path id -> activation -> segment name -> record.
+        self.records: Dict[str, Dict[int, Dict[str, SegmentRecord]]] = {
+            p.path_id: {} for p in self.paths
+        }
+        #: segment name -> path ids containing it.
+        self.membership: Dict[str, List[str]] = {s: [] for s in dag.segments}
+        for path in self.paths:
+            for name in path.segment_names:
+                self.membership[name].append(path.path_id)
+        self.exceptions: List[TemporalException] = []
+        #: Called as ``on_violation(path_id, activation, window_misses)``.
+        self.on_violation = on_violation
+        self._finalized_through: Dict[str, int] = {
+            p.path_id: -1 for p in self.paths
+        }
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def report(
+        self,
+        segment_name: str,
+        activation: int,
+        outcome: Outcome,
+        latency: Optional[int] = None,
+        detection_latency: Optional[int] = None,
+    ) -> None:
+        """Record a segment outcome on every path through the segment."""
+        record = SegmentRecord(
+            outcome=outcome,
+            latency=latency,
+            detection_latency=detection_latency,
+        )
+        for path_id in self.membership.get(segment_name, ()):
+            per_activation = self.records[path_id].setdefault(activation, {})
+            per_activation[segment_name] = record
+
+    def report_path(
+        self,
+        path_id: str,
+        activation: int,
+        outcome: Outcome,
+        latency: Optional[int] = None,
+        detection_latency: Optional[int] = None,
+    ) -> None:
+        """Record an end-to-end outcome for one specific path.
+
+        The record is filed under the path's sink segment.
+        """
+        path = self.dag.path_by_id(path_id)
+        per_activation = self.records[path_id].setdefault(activation, {})
+        per_activation[path.sink] = SegmentRecord(
+            outcome=outcome,
+            latency=latency,
+            detection_latency=detection_latency,
+        )
+
+    def report_exception(self, exception: TemporalException) -> None:
+        """Archive a raised temporal exception (diagnostics)."""
+        self.exceptions.append(exception)
+
+    # ------------------------------------------------------------------
+    # Online supervision
+    # ------------------------------------------------------------------
+    def _activation_violated(self, path_id: str, activation: int) -> bool:
+        per_segment = self.records[path_id].get(activation, {})
+        return any(
+            record.outcome is Outcome.MISS for record in per_segment.values()
+        )
+
+    def advance_window(self, through_activation: int) -> None:
+        """Feed completed activations into every path's automaton."""
+        for path in self.paths:
+            path_id = path.path_id
+            automaton = self.automata[path_id]
+            for n in range(
+                self._finalized_through[path_id] + 1, through_activation + 1
+            ):
+                violated = self._activation_violated(path_id, n)
+                if automaton.record(violated) and self.on_violation is not None:
+                    self.on_violation(path_id, n, automaton.misses_in_window)
+            self._finalized_through[path_id] = max(
+                self._finalized_through[path_id], through_activation
+            )
+
+    @property
+    def violated_paths(self) -> List[str]:
+        """Path ids whose (m,k) constraint was ever violated."""
+        return [
+            path_id for path_id, automaton in self.automata.items()
+            if automaton.violated
+        ]
+
+    # ------------------------------------------------------------------
+    # Offline verdicts
+    # ------------------------------------------------------------------
+    def finalize(
+        self, through_activation: Optional[int] = None
+    ) -> Dict[str, ChainReport]:
+        """Aggregate per-path reports over all observed activations."""
+        out: Dict[str, ChainReport] = {}
+        for path in self.paths:
+            path_id = path.path_id
+            records = self.records[path_id]
+            through = through_activation
+            if through is None:
+                through = max(records, default=-1)
+            activations: List[ActivationOutcome] = []
+            misses: List[bool] = []
+            counts = {outcome: 0 for outcome in Outcome}
+            for n in range(through + 1):
+                per_segment = records.get(n, {})
+                violated = any(
+                    r.outcome is Outcome.MISS for r in per_segment.values()
+                )
+                activations.append(ActivationOutcome(
+                    activation=n, violated=violated, segments=per_segment
+                ))
+                misses.append(violated)
+                for record in per_segment.values():
+                    counts[record.outcome] += 1
+            mk = self.dag.mk[path.sink]
+            worst = max_window_misses(misses, mk.k) if misses else 0
+            out[path_id] = ChainReport(
+                chain_name=f"{self.dag.name}:{path_id}",
+                activations=activations,
+                misses=misses,
+                mk_satisfied=worst <= mk.m,
+                max_window_misses=worst,
+                ok_count=counts[Outcome.OK],
+                recovered_count=counts[Outcome.RECOVERED],
+                miss_count=counts[Outcome.MISS],
+                skipped_count=counts[Outcome.SKIPPED],
+            )
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<DagChainRuntime {self.dag.name} paths={len(self.paths)} "
+            f"violated={len(self.violated_paths)}>"
+        )

@@ -105,7 +105,7 @@ def _run_budgeting() -> str:
 
 
 def _run_faults() -> str:
-    from repro.faults import run_default_campaign
+    from repro.faults import run_dag_campaign, run_default_campaign
 
     result = run_default_campaign()
     report = result.render_report()
@@ -114,7 +114,18 @@ def _run_faults() -> str:
             for failure in (scenario.soundness.failures
                             + scenario.completeness.failures):
                 report += f"\n  {scenario.name}: {failure.detail}"
-    return "Fault-injection campaign\n" + report
+    dag_result = run_dag_campaign()
+    dag_report = dag_result.render_report()
+    if not dag_result.passed:
+        for scenario in dag_result.scenarios:
+            for failure in (scenario.soundness.failures
+                            + scenario.completeness.failures):
+                dag_report += f"\n  {scenario.name}: {failure.detail}"
+    return (
+        "Fault-injection campaign\n" + report
+        + "\n\nDAG fault-injection campaign (fork/join x executor models)\n"
+        + dag_report
+    )
 
 
 EXPERIMENTS: Dict[str, Callable[[], str]] = {
@@ -137,7 +148,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "bench": "micro/e2e benchmark suites with baseline comparison",
     "budgeting": "deadline-budgeting study (independent, greedy, B&B)",
     "chaos": "uplink fault+crash chaos sweep with ledger verification",
-    "faults": "fault-injection campaign with oracle verdicts",
+    "faults": "linear + fork/join DAG fault campaigns with oracle verdicts",
     "fig02": "event-sequence run: per-segment latency statistics",
     "fig03": "error-case walkthrough of one faulty activation",
     "fig06": "inter-arrival vs synchronized monitoring comparison",

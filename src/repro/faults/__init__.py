@@ -8,7 +8,10 @@ Layers:
 - :mod:`repro.faults.ground_truth` -- omniscient global-time recorder;
 - :mod:`repro.faults.oracles` -- soundness and no-silent-violation;
 - :mod:`repro.faults.degradation` -- escalation ladder and watchdog;
-- :mod:`repro.faults.campaign` -- the scenario matrix and runner.
+- :mod:`repro.faults.campaign` -- the scenario matrix and runner;
+- :mod:`repro.faults.dag_stack` / :mod:`repro.faults.dag_scenarios` --
+  the fork/join DAG pipeline on selectable ROS 2 executor models, with
+  per-path oracles and its own scenario matrix.
 """
 
 from repro.faults.base import FaultInjector, Injection, frame_window_ns
@@ -47,6 +50,18 @@ from repro.faults.oracles import (
     check_completeness,
     check_soundness,
 )
+from repro.faults.dag_stack import DagGroundTruth, DagStack, DagStackConfig
+from repro.faults.dag_scenarios import (
+    DagCampaign,
+    DagCampaignConfig,
+    DagCampaignResult,
+    DagFaultScenario,
+    DagScenarioResult,
+    check_dag_completeness,
+    check_dag_soundness,
+    default_dag_scenarios,
+    run_dag_campaign,
+)
 
 __all__ = [
     "CampaignConfig",
@@ -79,4 +94,16 @@ __all__ = [
     "default_scenarios",
     "frame_window_ns",
     "run_default_campaign",
+    "DagCampaign",
+    "DagCampaignConfig",
+    "DagCampaignResult",
+    "DagFaultScenario",
+    "DagGroundTruth",
+    "DagScenarioResult",
+    "DagStack",
+    "DagStackConfig",
+    "check_dag_completeness",
+    "check_dag_soundness",
+    "default_dag_scenarios",
+    "run_dag_campaign",
 ]

@@ -96,6 +96,10 @@ class CampaignConfig:
     #: Attach a span recorder to every scenario's stack (causal span
     #: tracing; the campaign result is unchanged by it either way).
     spans: bool = False
+    #: Route every chain through the DAG model as a degenerate
+    #: single-path instance (differential identity switch; see
+    #: ``StackConfig.via_dag``).
+    via_dag: bool = False
 
     def __post_init__(self) -> None:
         if self.n_frames < self.warmup + self.tail + 8:
@@ -282,7 +286,8 @@ class FaultCampaign:
         """Build, fault, run and judge one scenario."""
         cc = self.config
         stack_config = dataclasses.replace(
-            StackConfig(seed=cc.seed, spans=cc.spans), **scenario.config_overrides
+            StackConfig(seed=cc.seed, spans=cc.spans, via_dag=cc.via_dag),
+            **scenario.config_overrides,
         )
         stack = PerceptionStack(stack_config)
         truth = GroundTruthRecorder(stack)

@@ -15,10 +15,28 @@ threads (ksoftirq, the monitor thread).
 """
 
 from repro.ros.executor import SingleThreadedExecutor
+from repro.ros.executors import (
+    EXECUTOR_MODELS,
+    CallbackGroup,
+    CallbackSpec,
+    Dispatch,
+    EventLoop,
+    Ros2MultiThreadedExecutor,
+    Ros2SingleThreadedExecutor,
+    run_schedule,
+)
 from repro.ros.node import Node, Publisher, RosTimer, Subscription
 
 __all__ = [
     "SingleThreadedExecutor",
+    "EXECUTOR_MODELS",
+    "CallbackGroup",
+    "CallbackSpec",
+    "Dispatch",
+    "EventLoop",
+    "Ros2MultiThreadedExecutor",
+    "Ros2SingleThreadedExecutor",
+    "run_schedule",
     "Node",
     "Publisher",
     "Subscription",

@@ -1,0 +1,149 @@
+"""Differential identity: the DAG model is a conservative extension.
+
+Every linear scenario re-expressed as a degenerate single-path DAG
+(``StackConfig.via_dag`` / ``CampaignConfig.via_dag`` round-trip the
+chains through :class:`~repro.core.dag.DagChain`) must produce
+**byte-identical** behaviour: golden-trace fingerprints, full
+:class:`ScenarioResult` contents (serial and with the ``-j4``
+multiprocessing fan-out) and telemetry-store snapshot digests.  Any
+divergence means the DAG layer is not actually degenerate on linear
+chains.
+"""
+
+import dataclasses
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments.common import interference_governor
+from repro.experiments.parallel import run_campaign_parallel
+from repro.faults import CampaignConfig, FaultCampaign, default_scenarios
+from repro.perception.stack import PerceptionStack, StackConfig
+from repro.tracing.golden import GOLDEN_FRAMES, stack_fingerprint
+
+#: Whole module runs multi-second stack/campaign simulations.
+pytestmark = pytest.mark.slow
+
+N_FRAMES = 24
+
+#: The golden scenario configurations, parameterized by via_dag.
+GOLDEN_CONFIGS = {
+    "benign_seed1": lambda via: StackConfig(seed=1, via_dag=via),
+    "interference_seed42": lambda via: StackConfig(
+        seed=42, ecu2_governor=interference_governor(), via_dag=via
+    ),
+    "lossy_link_seed7": lambda via: StackConfig(
+        seed=7, link_loss=0.08, via_dag=via
+    ),
+}
+
+
+def run_fingerprint(config: StackConfig) -> dict:
+    stack = PerceptionStack(config)
+    stack.run(n_frames=GOLDEN_FRAMES)
+    return stack_fingerprint(stack)
+
+
+@pytest.mark.parametrize("scenario", sorted(GOLDEN_CONFIGS))
+def test_golden_fingerprints_identical_via_dag(scenario):
+    """Trace, latency and final-time digests are bit-identical."""
+    plain = run_fingerprint(GOLDEN_CONFIGS[scenario](False))
+    via_dag = run_fingerprint(GOLDEN_CONFIGS[scenario](True))
+    assert plain == via_dag, (
+        f"{scenario}: degenerate-DAG round-trip changed observable "
+        f"behaviour"
+    )
+
+
+def scenario_subset(names):
+    registry = {s.name: s for s in default_scenarios()}
+    return [registry[n] for n in names]
+
+
+def result_payload(result):
+    """Full ScenarioResult content as comparable plain data."""
+    return dataclasses.asdict(result)
+
+
+class TestScenarioResultIdentity:
+    NAMES = ["loss_burst", "latency_spike", "clock_drift"]
+
+    @pytest.fixture(scope="class")
+    def serial_plain(self):
+        campaign = FaultCampaign(
+            scenario_subset(self.NAMES), CampaignConfig(n_frames=N_FRAMES)
+        )
+        return campaign.run()
+
+    def test_serial_via_dag_identical(self, serial_plain):
+        via = FaultCampaign(
+            scenario_subset(self.NAMES),
+            CampaignConfig(n_frames=N_FRAMES, via_dag=True),
+        ).run()
+        for a, b in zip(serial_plain.scenarios, via.scenarios):
+            assert result_payload(a) == result_payload(b), a.name
+        assert serial_plain.render_report() == via.render_report()
+
+    def test_parallel_j4_via_dag_identical(self, serial_plain):
+        """The -j4 fan-out with via_dag merges to the same bytes: the
+        flag survives the spawn boundary and workers rebuild scenarios
+        identically."""
+        parallel = run_campaign_parallel(
+            self.NAMES,
+            config=CampaignConfig(n_frames=N_FRAMES, via_dag=True),
+            jobs=4,
+        )
+        assert [s.name for s in parallel.scenarios] == self.NAMES
+        for a, b in zip(serial_plain.scenarios, parallel.scenarios):
+            assert result_payload(a) == result_payload(b), a.name
+        assert serial_plain.render_report() == parallel.render_report()
+
+
+def telemetry_store_digest(config: StackConfig, n_frames: int) -> str:
+    """Run a stack, replay its records through a fresh telemetry
+    service, and hash the exact store snapshot."""
+    from repro.telemetry.emitter import replay_stack_records, stack_store_config
+    from repro.telemetry.service import ServiceConfig, TelemetryService
+
+    stack = PerceptionStack(config)
+    stack.run(n_frames=n_frames)
+    service = TelemetryService(ServiceConfig(store=stack_store_config(stack)))
+    service.ingest_many(
+        replay_stack_records(stack, "differential", n_frames, manager=None)
+    )
+    service.drain()
+    payload = json.dumps(
+        service.snapshot(), sort_keys=True, separators=(",", ":"), default=str
+    )
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def test_telemetry_store_digests_identical_via_dag():
+    plain = telemetry_store_digest(StackConfig(seed=7), GOLDEN_FRAMES)
+    via = telemetry_store_digest(
+        StackConfig(seed=7, via_dag=True), GOLDEN_FRAMES
+    )
+    assert plain == via
+
+
+def test_via_dag_actually_round_trips():
+    """Guard against via_dag silently becoming a no-op: the flag must
+    route construction through DagChain.from_linear/to_linear."""
+    import repro.core.dag as dag_module
+
+    calls = []
+    original = dag_module.DagChain.from_linear.__func__
+
+    def counting(cls, chain):
+        calls.append(chain.name)
+        return original(cls, chain)
+
+    dag_module.DagChain.from_linear = classmethod(counting)
+    try:
+        PerceptionStack(StackConfig(seed=1, via_dag=True))
+    finally:
+        dag_module.DagChain.from_linear = classmethod(original)
+    assert sorted(calls) == [
+        "front_ground", "front_objects", "rear_ground", "rear_objects",
+    ]
