@@ -77,13 +77,23 @@ class DagChainRuntime:
         latency: Optional[int] = None,
         detection_latency: Optional[int] = None,
     ) -> None:
-        """Record a segment outcome on every path through the segment."""
+        """Record a segment outcome on every path through the segment.
+
+        Raises :class:`KeyError` for a segment name not in the DAG
+        (mirroring :meth:`report_path`) -- a misspelled monitor name
+        must not silently drop its outcomes.
+        """
+        if segment_name not in self.membership:
+            raise KeyError(
+                f"unknown segment {segment_name!r} in DAG {self.dag.name!r} "
+                f"(have {sorted(self.membership)})"
+            )
         record = SegmentRecord(
             outcome=outcome,
             latency=latency,
             detection_latency=detection_latency,
         )
-        for path_id in self.membership.get(segment_name, ()):
+        for path_id in self.membership[segment_name]:
             per_activation = self.records[path_id].setdefault(activation, {})
             per_activation[segment_name] = record
 

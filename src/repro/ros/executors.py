@@ -250,8 +250,13 @@ class Ros2SingleThreadedExecutor(_ExecutorBase):
         self.loop.schedule(job.exec_time, lambda: self._finish(job, start))
 
     def _finish(self, job: _Job, start: int) -> None:
-        self._busy = False
+        # _busy stays True while the user handler runs: a handler that
+        # submit()s (e.g. the fusion join submitting "fuse") must not
+        # reentrantly poll and start a job while this dispatch cycle is
+        # still deciding what runs next -- that would put two callbacks
+        # in flight on a single-threaded executor.
         self._record(job, start, thread=0)
+        self._busy = False
         if self._snapshot:
             self._start_next()
         else:

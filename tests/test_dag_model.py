@@ -202,6 +202,13 @@ class TestDagChainRuntime:
         assert reports["a>b>d"].misses == [True]
         assert reports["a>c>d"].misses == [True]
 
+    def test_report_unknown_segment_raises(self):
+        # A misspelled monitor segment name must fail loudly, not
+        # silently drop every outcome (mirrors report_path's KeyError).
+        runtime = DagChainRuntime(self.mk_diamond())
+        with pytest.raises(KeyError, match="unknown segment"):
+            runtime.report("b_typo", 0, Outcome.MISS)
+
     def test_report_path_targets_one_path(self):
         runtime = DagChainRuntime(self.mk_diamond())
         runtime.report_path("a>b>d", 0, Outcome.MISS)

@@ -134,6 +134,66 @@ class TestPollingPointSemantics:
             ex.add_callback(CallbackSpec("A"))
 
 
+class TestReentrantHandlerSubmission:
+    """A handler that submit()s must not put two callbacks in flight.
+
+    Regression: _finish used to clear _busy before running the user
+    handler, so a handler submitting new work (the DAG stack's fusion
+    join does exactly this) reentrantly polled and started a job, after
+    which _finish started a *second* job from the same snapshot --
+    overlapping dispatches on a single-threaded executor.
+    """
+
+    def test_handler_submit_with_pending_work_stays_serialized(self):
+        loop = EventLoop()
+        ex = Ros2SingleThreadedExecutor(loop, "ecu")
+        ex.add_callback(CallbackSpec("a"), lambda _payload: ex.submit("c", 100))
+        ex.add_callback(CallbackSpec("b"))
+        ex.add_callback(CallbackSpec("c"))
+        # b arrives while a drains; a's completion handler submits c.
+        # The buggy executor ran b(1000-2000) and c(1000-1100)
+        # concurrently on thread 0.
+        loop.schedule_at(0, lambda: ex.submit("a", 1000))
+        loop.schedule_at(500, lambda: ex.submit("b", 1000))
+        loop.run()
+        log = sorted(ex.dispatches, key=lambda d: d.start)
+        assert tuples(log) == [
+            ("a", 0, 0, 1000, 0),
+            ("b", 500, 1000, 2000, 0),
+            ("c", 1000, 2000, 2100, 0),
+        ]
+
+    def test_handler_submit_mid_snapshot_waits_for_next_poll(self):
+        loop = EventLoop()
+        ex = Ros2SingleThreadedExecutor(loop, "ecu")
+        ex.add_callback(CallbackSpec("a"), lambda _payload: ex.submit("c", 5))
+        ex.add_callback(CallbackSpec("b"))
+        ex.add_callback(CallbackSpec("c"))
+        # a and b share the t=0 snapshot; c (submitted from a's
+        # handler) waits for the polling point after b completes.
+        log = run_schedule(ex, [(0, "a", 10), (0, "b", 10)])
+        assert tuples(log) == [
+            ("a", 0, 0, 10, 0),
+            ("b", 0, 10, 20, 0),
+            ("c", 10, 20, 25, 0),
+        ]
+
+    @pytest.mark.parametrize("policy", [None, POLICY_PRIORITY])
+    def test_single_thread_dispatches_never_overlap(self, policy):
+        kwargs = {} if policy is None else {"policy": policy}
+        loop = EventLoop()
+        ex = Ros2SingleThreadedExecutor(loop, "ecu", **kwargs)
+        ex.add_callback(CallbackSpec("a", priority=1),
+                        lambda _payload: ex.submit("c", 7))
+        ex.add_callback(CallbackSpec("b", priority=9))
+        ex.add_callback(CallbackSpec("c", priority=5))
+        run_schedule(ex, [(0, "a", 10), (3, "b", 20), (6, "a", 4),
+                          (11, "b", 2), (30, "a", 5)])
+        spans = sorted((d.start, d.finish) for d in ex.dispatches)
+        assert all(prev_finish <= start
+                   for (_, prev_finish), (start, _) in zip(spans, spans[1:]))
+
+
 class TestCallbackGroups:
     """Multi-threaded executor: group serialization vs reentrancy."""
 
