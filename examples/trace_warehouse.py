@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Fleet trace warehouse walkthrough: cross-run regression mining.
+
+`examples/trace_attribution.py` explains one run's latency; this
+walkthrough makes runs *comparable*.  Four stages, all through the
+public `repro.warehouse` API:
+
+1. **Export** -- run the two-ECU perception stack twice (a benign
+   "base" commit and a lossy-uplink "head" commit) and write each as a
+   run bundle: `manifest.json` (run key + full chain metadata) next to
+   the versioned `spans.jsonl` export.
+2. **Ingest** -- feed both bundles to the append-only sqlite
+   warehouse.  Ingestion replays the per-run critical-path analysis on
+   the imported spans and persists DDSketch snapshots per (run, chain,
+   edge category, segment), so later queries never re-scan raw spans.
+   Re-ingesting the same bundle is a digest-checked no-op.
+3. **Query** -- cohort percentiles from *sketch merges*: p50/p95/p99
+   per edge category plus per-segment d_mon budget burn (the paper's
+   Eqs. 3-7 monitoring deadlines).
+4. **Diff** -- the cross-commit attribution diff: which edge category
+   regressed, and how the budget-burn headroom shifted.  The JSON
+   document is byte-stable, which is what lets CI diff it as an
+   artifact (`python -m repro bench --compare --warehouse ...`).
+
+Run:  python examples/trace_warehouse.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.perception.stack import PerceptionStack, StackConfig
+from repro.warehouse import (
+    RunKey,
+    RunManifest,
+    RunSelector,
+    SpanWarehouse,
+    attribution_diff,
+    dump_diff,
+    load_run_bundle,
+    regressed_categories,
+    render_cohort,
+    render_diff,
+    aggregate,
+    write_run_bundle,
+)
+
+FRAMES = 8
+
+RUNS = (
+    ("base", "cA", "benign", StackConfig(seed=1, spans=True)),
+    ("head", "cB", "lossy_link",
+     StackConfig(seed=7, link_loss=0.08, spans=True)),
+)
+
+
+def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="trace_warehouse_"))
+
+    # ------------------------------------------------------------------
+    # 1. Export: one run bundle per (commit, scenario).
+    # ------------------------------------------------------------------
+    for run_id, commit, scenario, config in RUNS:
+        stack = PerceptionStack(config)
+        stack.run(n_frames=FRAMES)
+        bundle, count = write_run_bundle(
+            stack.spans, stack.chains, FRAMES, workdir / run_id,
+            RunKey(run_id=run_id, commit=commit, suite="example",
+                   scenario=scenario, vehicle="veh0"),
+        )
+        print(f"--- exported {run_id} ({scenario}): {count} spans "
+              f"-> {bundle.name}/ ---")
+
+    # ------------------------------------------------------------------
+    # 2. Ingest both bundles; prove idempotency and order-independence.
+    # ------------------------------------------------------------------
+    db = workdir / "warehouse.db"
+    with SpanWarehouse(db) as store:
+        for run_id, *_ in RUNS:
+            manifest, spans = load_run_bundle(workdir / run_id)
+            result = store.ingest_run(manifest, spans)
+            print(f"ingested {result.run_id}: {result.n_spans} spans, "
+                  f"{result.n_instances} chain instances")
+        digest = store.digest()
+        again = store.ingest_run(*load_run_bundle(workdir / "base"))
+        assert again.skipped, "re-ingest must be a no-op"
+        assert store.digest() == digest
+        print("re-ingest skipped; warehouse digest unchanged "
+              f"({digest[:16]})")
+
+        # Reverse ingest order into a scratch store: same digest.
+        with SpanWarehouse(":memory:") as scratch:
+            for run_id, *_ in reversed(RUNS):
+                scratch.ingest_run(*load_run_bundle(workdir / run_id))
+            assert scratch.digest() == digest
+        print("reverse-order ingest produces the identical digest")
+
+        # --------------------------------------------------------------
+        # 3. Query: cohort percentiles from persisted sketch merges.
+        # --------------------------------------------------------------
+        print()
+        print(render_cohort(aggregate(store, RunSelector())))
+
+        # --------------------------------------------------------------
+        # 4. Diff: what regressed between commit cA and commit cB?
+        # --------------------------------------------------------------
+        diff = attribution_diff(
+            store, RunSelector(commit="cA"), RunSelector(commit="cB")
+        )
+        print()
+        print(render_diff(diff))
+        suspects = regressed_categories(diff, threshold=0.30)
+        print()
+        if suspects:
+            chain, category, ratio = suspects[0]
+            print(f"prime suspect: {category} edges on {chain} "
+                  f"({ratio:.2f}x at p95)")
+        first = dump_diff(diff, workdir / "diff.json").read_bytes()
+        second = dump_diff(diff, workdir / "diff2.json").read_bytes()
+        assert first == second
+        print(f"diff document is byte-stable ({len(first)} bytes)")
+
+
+if __name__ == "__main__":
+    main()

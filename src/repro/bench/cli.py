@@ -74,6 +74,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="allowed median slowdown fraction for --compare "
         f"(default: {DEFAULT_THRESHOLD})",
     )
+    parser.add_argument(
+        "--warehouse",
+        type=Path,
+        default=None,
+        metavar="DB",
+        help="span warehouse to attribute flagged --compare regressions "
+        "against (writes an attribution-diff artifact)",
+    )
+    parser.add_argument(
+        "--attr-base",
+        default="",
+        metavar="SEL",
+        help="warehouse base cohort selector, e.g. commit=abc "
+        "(default: all runs)",
+    )
+    parser.add_argument(
+        "--attr-head",
+        default="",
+        metavar="SEL",
+        help="warehouse head cohort selector (default: all runs)",
+    )
+    parser.add_argument(
+        "--attribution-out",
+        type=Path,
+        default=Path("attribution_diff.json"),
+        metavar="PATH",
+        help="where the attribution-diff artifact is written "
+        "(default: attribution_diff.json)",
+    )
     args = parser.parse_args(argv)
 
     suites = sorted(SUITES) if args.suite == "all" else [args.suite]
@@ -100,6 +129,26 @@ def main(argv: Optional[List[str]] = None) -> int:
                 suite_to_json(suite, results), baseline, threshold=args.threshold
             )
             print(report.render())
+            if not report.passed and args.warehouse is not None:
+                # Turn "the suite regressed" into "these edge
+                # categories / segments regressed": attach the
+                # warehouse attribution diff as a CI artifact.
+                from repro.warehouse import (
+                    RunSelector,
+                    attach_attribution_diff,
+                )
+
+                out = args.attribution_out
+                if len(suites) > 1:
+                    out = out.with_name(f"{out.stem}_{suite}{out.suffix}")
+                artifact = attach_attribution_diff(
+                    report,
+                    args.warehouse,
+                    out,
+                    RunSelector.parse(args.attr_base),
+                    RunSelector.parse(args.attr_head),
+                )
+                print(f"wrote attribution diff to {artifact}")
             failed = failed or not report.passed
         print()
     return 1 if failed else 0

@@ -421,6 +421,92 @@ def bench_budget_resolve() -> int:
     return len(records)
 
 
+#: Traced-run payload reused across warehouse bench iterations: the
+#: simulation cost is paid once so the timed work is the warehouse's
+#: (parse -> analyze -> index -> sketch), not the simulator's.
+_WAREHOUSE_PAYLOAD: Dict[str, object] = {}
+
+
+def _warehouse_payload():
+    if not _WAREHOUSE_PAYLOAD:
+        from repro.perception.stack import PerceptionStack, StackConfig
+        from repro.warehouse import RunKey, RunManifest
+
+        frames = 16
+        runs = []
+        for run_id, config in (
+            ("bench-base", StackConfig(seed=1, spans=True)),
+            ("bench-head", StackConfig(seed=7, link_loss=0.08, spans=True)),
+        ):
+            stack = PerceptionStack(config)
+            stack.run(n_frames=frames)
+            manifest = RunManifest.for_run(
+                RunKey(run_id=run_id, commit=run_id, suite="bench"),
+                stack.chains, frames,
+            )
+            runs.append((manifest, list(stack.spans.spans)))
+        _WAREHOUSE_PAYLOAD["runs"] = runs
+    return _WAREHOUSE_PAYLOAD["runs"]
+
+
+def bench_warehouse_ingest() -> int:
+    """Two traced runs through full warehouse ingestion.
+
+    Measures the analysis-and-index path: span rows, per-instance
+    critical paths with telescoping verification, edge/segment tables
+    and DDSketch snapshot persistence into a fresh in-memory store.
+    """
+    from repro.warehouse import SpanWarehouse
+
+    runs = _warehouse_payload()
+    with SpanWarehouse(":memory:") as store:
+        total = 0
+        for manifest, spans in runs:
+            result = store.ingest_run(manifest, spans)
+            assert not result.skipped and result.n_instances > 0
+            total += result.n_spans
+    return total
+
+
+def bench_warehouse_query() -> int:
+    """Cohort aggregation + attribution diff over an ingested store.
+
+    The populated in-memory store is cached across iterations (queries
+    are read-only), so the timed work is the query layer's: sketch
+    restore + merge per (chain, kind, key) and diff assembly -- the
+    path the CI gate pays on every flagged regression.
+    """
+    from repro.warehouse import (
+        RunSelector,
+        SpanWarehouse,
+        aggregate,
+        attribution_diff,
+    )
+
+    if "store" not in _WAREHOUSE_PAYLOAD:
+        store = SpanWarehouse(":memory:")
+        for manifest, spans in _warehouse_payload():
+            store.ingest_run(manifest, spans)
+        _WAREHOUSE_PAYLOAD["store"] = store
+    store = _WAREHOUSE_PAYLOAD["store"]
+    rows = 0
+    base = RunSelector(commit="bench-base")
+    head = RunSelector(commit="bench-head")
+    for selector in (base, head):
+        agg = aggregate(store, selector)
+        rows += sum(
+            len(chain.categories) + len(chain.edges) + len(chain.segments)
+            for chain in agg.chains.values()
+        )
+    diff = attribution_diff(store, base, head)
+    assert diff["chains"], "diff produced no chains"
+    rows += sum(
+        len(entry["categories"]) + len(entry["segments"])
+        for entry in diff["chains"].values()
+    )
+    return rows
+
+
 #: suite name -> ordered list of (bench name, layer, unit, fn).
 SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
     KERNEL_SUITE: [
@@ -442,6 +528,8 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
         ("telemetry_ingest", "telemetry", "records", bench_telemetry_ingest),
         ("uplink_roundtrip", "telemetry", "records", bench_uplink_roundtrip),
         ("budget_resolve", "adaptive", "records", bench_budget_resolve),
+        ("warehouse_ingest", "warehouse", "spans", bench_warehouse_ingest),
+        ("warehouse_query", "warehouse", "rows", bench_warehouse_query),
     ],
 }
 

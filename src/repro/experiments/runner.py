@@ -158,6 +158,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "fig12": "remote timeout entry latencies by context",
     "telemetry": "fleet telemetry service: ingest load run + alerting",
     "trace": "causal span tracing with critical-path latency attribution",
+    "warehouse": "span warehouse: ingest runs, cohort queries, diffs",
 }
 
 
@@ -194,6 +195,10 @@ def main(argv=None) -> int:
         from repro.adaptive.chaos import main as adapt_main
 
         return adapt_main(argv[1:])
+    if argv and argv[0] == "warehouse":
+        from repro.warehouse.cli import main as warehouse_main
+
+        return warehouse_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures ('bench' runs the "
@@ -205,7 +210,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["adapt", "all", "bench", "chaos", "telemetry", "trace"],
+        + ["adapt", "all", "bench", "chaos", "telemetry", "trace",
+           "warehouse"],
         help="which subcommand to run (one-line descriptions below)",
     )
     parser.add_argument(

@@ -9,15 +9,30 @@ survive in ``args``.
 
 The JSONL format is the lossless interchange: one span per line,
 round-trippable via :func:`read_jsonl` for offline analysis of a run
-recorded elsewhere (e.g. a CI artifact).
+recorded elsewhere (e.g. a CI artifact).  Every export starts with a
+header line carrying the span schema identifier (``repro-spans/1``);
+:func:`read_jsonl` tolerates headerless legacy files, while the
+warehouse importer (:mod:`repro.warehouse.ingest`) requires the header
+and refuses unknown versions with a
+:class:`~repro.telemetry.records.SchemaVersionError`.
 """
 
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any, Dict, Iterator, List
 
+from repro.telemetry.records import SchemaVersionError
 from repro.tracing.spans import Span, SpanRecorder
+
+#: Schema identifier written as the first line of every JSONL export.
+SPANS_SCHEMA = "repro-spans/1"
+
+#: Fields a span record may carry; extras warn (additive evolution).
+_SPAN_FIELDS = frozenset(
+    {"name", "cat", "trace", "id", "start", "end", "parent", "links", "attrs"}
+)
 
 
 def chrome_trace(recorder: SpanRecorder) -> Dict[str, Any]:
@@ -107,15 +122,24 @@ def span_from_dict(record: Dict[str, Any]) -> Span:
     return span
 
 
+def jsonl_header(recorder: SpanRecorder) -> str:
+    """The schema header line opening a JSONL export."""
+    return json.dumps(
+        {"schema": SPANS_SCHEMA, "spans": len(recorder.spans)},
+        separators=(",", ":"),
+    )
+
+
 def to_jsonl(recorder: SpanRecorder) -> Iterator[str]:
-    """One JSON line per recorded span, in recording order."""
+    """Header line, then one JSON line per span in recording order."""
+    yield jsonl_header(recorder)
     for span in recorder.spans:
         yield json.dumps(span_to_dict(span), separators=(",", ":"))
 
 
 def write_jsonl(recorder: SpanRecorder, path: str) -> int:
     """Write the JSONL export to *path*; returns the span count."""
-    count = 0
+    count = -1  # the header line is not a span
     with open(path, "w", encoding="utf-8") as handle:
         for line in to_jsonl(recorder):
             handle.write(line)
@@ -124,12 +148,47 @@ def write_jsonl(recorder: SpanRecorder, path: str) -> int:
     return count
 
 
+def parse_jsonl_lines(
+    lines: Iterator[str], *, require_header: bool, context: str = "spans"
+) -> List[Span]:
+    """Parse a JSONL span stream, enforcing the schema header.
+
+    With ``require_header=False`` a legacy headerless stream (every
+    line a span record) still loads; the warehouse importer passes
+    ``True`` so silently mis-ingesting a future span schema is
+    impossible.  Unknown *extra* fields on span records are tolerated
+    with one warning per stream (additive evolution).
+    """
+    spans: List[Span] = []
+    saw_header = False
+    unknown: set = set()
+    for lineno, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        record = json.loads(line)
+        if not spans and not saw_header and "schema" in record:
+            if record["schema"] != SPANS_SCHEMA:
+                raise SchemaVersionError(
+                    context, record["schema"], SPANS_SCHEMA
+                )
+            saw_header = True
+            continue
+        if not record.keys() <= _SPAN_FIELDS:
+            unknown |= set(record) - _SPAN_FIELDS
+        spans.append(span_from_dict(record))
+    if require_header and not saw_header:
+        raise SchemaVersionError(context, None, SPANS_SCHEMA)
+    if unknown:
+        warnings.warn(
+            f"{context}: ignoring unknown span field(s) {sorted(unknown)} "
+            f"(written by a newer build?)",
+            stacklevel=3,
+        )
+    return spans
+
+
 def read_jsonl(path: str) -> List[Span]:
     """Load spans back from a JSONL export (lossless round-trip)."""
-    spans = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                spans.append(span_from_dict(json.loads(line)))
-    return spans
+        return parse_jsonl_lines(iter(handle), require_header=False)

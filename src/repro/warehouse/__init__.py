@@ -1,0 +1,87 @@
+"""Fleet-scale span warehouse with cross-run regression mining.
+
+Per-run tracing (``repro.tracing``) attributes one run's latency to
+critical-path edges; this package makes that attribution *comparable
+across runs*: an indexed, append-only sqlite warehouse ingests the
+tracing layer's JSONL exports (campaign / chaos / adapt / fleet runs),
+persists per-(run, chain, category, segment) DDSketch percentile
+sketches next to the raw spans, and answers "which edge category
+regressed between these two commits / fleet cohorts" from sketch
+merges instead of raw re-scans.
+
+- :mod:`~repro.warehouse.schema` -- run manifests + chain metadata
+  (versioned, mirrors ``telemetry/store.py``'s guard discipline);
+- :mod:`~repro.warehouse.ingest` -- run-bundle export/import with the
+  strict span-schema version guard;
+- :mod:`~repro.warehouse.store` -- the sqlite tables, idempotent
+  digest-checked ingestion and the order-independent store digest;
+- :mod:`~repro.warehouse.query` -- cohort selectors, sketch-merge
+  aggregation, attribution diffs and renderers;
+- :mod:`~repro.warehouse.gate` -- the bench-compare CI integration
+  (attribution-diff artifact on any flagged regression);
+- :mod:`~repro.warehouse.cli` -- ``python -m repro warehouse``.
+"""
+
+from repro.warehouse.schema import (
+    DIFF_SCHEMA,
+    MANIFEST_SCHEMA,
+    RunKey,
+    RunManifest,
+    chain_from_meta,
+    chain_to_meta,
+)
+from repro.warehouse.ingest import (
+    load_run_bundle,
+    read_spans_jsonl,
+    write_run_bundle,
+)
+from repro.warehouse.store import (
+    WAREHOUSE_SCHEMA,
+    IngestResult,
+    SpanWarehouse,
+    content_digest,
+)
+from repro.warehouse.query import (
+    ChainCohort,
+    CohortAggregate,
+    RunSelector,
+    aggregate,
+    attribution_diff,
+    dump_diff,
+    regressed_categories,
+    render_cohort,
+    render_diff,
+    select_runs,
+)
+from repro.warehouse.gate import (
+    attach_attribution_diff,
+    build_regression_artifact,
+)
+
+__all__ = [
+    "DIFF_SCHEMA",
+    "MANIFEST_SCHEMA",
+    "WAREHOUSE_SCHEMA",
+    "ChainCohort",
+    "CohortAggregate",
+    "IngestResult",
+    "RunKey",
+    "RunManifest",
+    "RunSelector",
+    "SpanWarehouse",
+    "aggregate",
+    "attach_attribution_diff",
+    "attribution_diff",
+    "build_regression_artifact",
+    "chain_from_meta",
+    "chain_to_meta",
+    "content_digest",
+    "dump_diff",
+    "load_run_bundle",
+    "read_spans_jsonl",
+    "regressed_categories",
+    "render_cohort",
+    "render_diff",
+    "select_runs",
+    "write_run_bundle",
+]

@@ -1,0 +1,156 @@
+"""``python -m repro warehouse``: ingest span runs, query, diff, report.
+
+Subcommands
+-----------
+``ingest DB BUNDLE...``
+    Ingest run bundles (directories with ``manifest.json`` +
+    ``spans.jsonl``, written by ``python -m repro trace --export-run``).
+    Idempotent: re-ingesting an identical run is a no-op; a run_id
+    collision with different content is refused.
+``query DB [--select k=v,...] [--chain NAME]``
+    Merged cohort percentiles (p50/p95/p99 per edge category, segment
+    d_mon budget burn) from persisted sketch merges.
+``diff DB --base SEL --head SEL [--json PATH]``
+    Cross-cohort attribution diff: per-edge-category p50/p95 deltas and
+    budget-burn shifts between two runs, commits, or fleet cohorts.
+``report DB``
+    Inventory: every ingested run plus the order-independent store
+    digest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro warehouse",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_ingest = sub.add_parser("ingest", help="ingest run bundles")
+    p_ingest.add_argument("db", help="warehouse database file")
+    p_ingest.add_argument("bundles", nargs="+", help="run bundle directories")
+
+    p_query = sub.add_parser("query", help="merged cohort percentiles")
+    p_query.add_argument("db")
+    p_query.add_argument(
+        "--select", default="", metavar="SEL",
+        help="cohort selector, e.g. commit=abc,scenario=benign "
+        "(default: all runs)",
+    )
+    p_query.add_argument(
+        "--chain", default=None, help="report only this chain",
+    )
+
+    p_diff = sub.add_parser("diff", help="cross-cohort attribution diff")
+    p_diff.add_argument("db")
+    p_diff.add_argument("--base", required=True, metavar="SEL",
+                        help="base cohort selector (e.g. commit=abc)")
+    p_diff.add_argument("--head", required=True, metavar="SEL",
+                        help="head cohort selector (e.g. commit=def)")
+    p_diff.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the diff document to PATH")
+
+    p_report = sub.add_parser("report", help="run inventory + digest")
+    p_report.add_argument("db")
+
+    args = parser.parse_args(argv)
+
+    from repro.warehouse.ingest import load_run_bundle
+    from repro.warehouse.query import (
+        RunSelector,
+        aggregate,
+        attribution_diff,
+        dump_diff,
+        render_cohort,
+        render_diff,
+    )
+    from repro.warehouse.store import SpanWarehouse
+
+    if args.command == "ingest":
+        with SpanWarehouse(args.db) as store:
+            for bundle in args.bundles:
+                manifest, spans = load_run_bundle(bundle)
+                result = store.ingest_run(manifest, spans)
+                verb = "skipped (already ingested)" if result.skipped \
+                    else "ingested"
+                print(
+                    f"{verb} {result.run_id}: {result.n_spans} spans, "
+                    f"{result.n_instances} instances "
+                    f"[{result.digest[:12]}]"
+                )
+            print(f"warehouse digest: {store.digest()[:16]}")
+        return 0
+
+    if args.command == "query":
+        try:
+            selector = RunSelector.parse(args.select)
+        except ValueError as exc:
+            parser.error(str(exc))
+        with SpanWarehouse(args.db) as store:
+            agg = aggregate(store, selector)
+            if not agg.run_ids:
+                print(f"no runs match [{selector.describe()}]")
+                return 1
+            if args.chain is not None:
+                if args.chain not in agg.chains:
+                    print(
+                        f"unknown chain {args.chain!r} "
+                        f"(have {sorted(agg.chains)})"
+                    )
+                    return 1
+                agg.chains = {args.chain: agg.chains[args.chain]}
+            print(render_cohort(agg))
+        return 0
+
+    if args.command == "diff":
+        try:
+            base = RunSelector.parse(args.base)
+            head = RunSelector.parse(args.head)
+        except ValueError as exc:
+            parser.error(str(exc))
+        with SpanWarehouse(args.db) as store:
+            diff = attribution_diff(store, base, head)
+            if not diff["base"]["runs"] or not diff["head"]["runs"]:
+                side = "base" if not diff["base"]["runs"] else "head"
+                print(f"no runs match the {side} selector")
+                return 1
+            print(render_diff(diff))
+            if args.json is not None:
+                path = dump_diff(diff, args.json)
+                print(f"wrote diff document to {path}")
+        return 0
+
+    # report
+    with SpanWarehouse(args.db) as store:
+        runs = store.runs()
+        if not runs:
+            print("warehouse is empty")
+            return 0
+        header = (
+            f"{'run_id':<24} {'commit':<12} {'suite':<10} {'scenario':<14} "
+            f"{'vehicle':<8} {'spans':>8} {'instances':>9}"
+        )
+        print(header)
+        for run in runs:
+            print(
+                f"{run['run_id']:<24} {run['commit']:<12} "
+                f"{run['suite']:<10} {run['scenario']:<14} "
+                f"{run['vehicle']:<8} {run['n_spans']:>8} "
+                f"{run['n_instances']:>9}"
+            )
+        print(
+            f"{len(runs)} runs, {store.span_count()} spans, "
+            f"{store.edge_count()} edges; digest {store.digest()[:16]}"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Bench-compare integration: attribution diffs on flagged regressions.
+
+``python -m repro bench --compare`` answers *that* a suite regressed;
+this module answers *where*.  When a comparison fails and the operator
+pointed the bench CLI at a warehouse (``--warehouse``), the gate runs a
+cross-cohort attribution diff (base vs head selectors, typically two
+commits) and writes it as a JSON artifact next to the bench output --
+"the kernel suite regressed 30%" becomes "queue edges on segment s2
+regressed", with the flagged benchmarks recorded in the document.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.warehouse.query import (
+    RunSelector,
+    attribution_diff,
+    dump_diff,
+    regressed_categories,
+)
+from repro.warehouse.store import SpanWarehouse
+
+
+def build_regression_artifact(
+    store: SpanWarehouse,
+    base_selector: RunSelector,
+    head_selector: RunSelector,
+    *,
+    flagged: List[str],
+    suite: str,
+    threshold: float = 0.30,
+) -> Dict[str, Any]:
+    """The attribution-diff document annotated with the bench verdict."""
+    diff = attribution_diff(store, base_selector, head_selector)
+    diff["bench"] = {
+        "suite": suite,
+        "flagged": sorted(flagged),
+        "threshold": threshold,
+    }
+    diff["regressed_categories"] = [
+        {"chain": chain, "category": category, "ratio_p95": ratio}
+        for chain, category, ratio in regressed_categories(diff, threshold)
+    ]
+    return diff
+
+
+def attach_attribution_diff(
+    report,
+    warehouse_path: Union[str, Path],
+    out_path: Union[str, Path],
+    base_selector: RunSelector,
+    head_selector: RunSelector,
+) -> Optional[Path]:
+    """Write the attribution-diff artifact for a failed CompareReport.
+
+    Returns the artifact path, or None when the report passed (nothing
+    to attribute).  *report* is a
+    :class:`~repro.bench.harness.CompareReport`.
+    """
+    if report.passed:
+        return None
+    flagged = [c.name for c in report.comparisons if c.regressed]
+    flagged += list(report.missing)
+    with SpanWarehouse(warehouse_path) as store:
+        diff = build_regression_artifact(
+            store,
+            base_selector,
+            head_selector,
+            flagged=flagged,
+            suite=report.suite,
+            threshold=report.threshold,
+        )
+    return dump_diff(diff, out_path)

@@ -55,6 +55,13 @@ class TestExamples:
         assert "budget burn" in out
         assert "chrome trace events" in out
 
+    def test_trace_warehouse(self):
+        out = run_example("trace_warehouse.py")
+        assert "re-ingest skipped; warehouse digest unchanged" in out
+        assert "reverse-order ingest produces the identical digest" in out
+        assert "telescoping OK" in out
+        assert "diff document is byte-stable" in out
+
     def test_examples_exist_and_have_docstrings(self):
         expected = {
             "quickstart.py",
@@ -67,6 +74,7 @@ class TestExamples:
             "telemetry_fleet.py",
             "telemetry_uplink.py",
             "trace_attribution.py",
+            "trace_warehouse.py",
             "adaptive_budgeting.py",
         }
         found = {p.name for p in EXAMPLES.glob("*.py")}

@@ -72,6 +72,109 @@ class TestAccuracyBound:
             assert restored.quantile(q) == hist.quantile(q)
 
 
+class TestMergeAlgebra:
+    """First-class merge: the warehouse's cohort-aggregation contract.
+
+    Merging is exact on sketch state (bucket counts add), so it is
+    commutative and associative *on snapshots*, not merely on quantile
+    estimates -- and the alpha accuracy bound survives any merge tree.
+    """
+
+    chunked = st.lists(samples, min_size=1, max_size=5)
+
+    @given(values=samples, alpha=st.sampled_from([0.01, 0.05]))
+    @settings(max_examples=100, deadline=None)
+    def test_merged_is_commutative(self, values, alpha):
+        cut = len(values) // 2
+        a = StreamingHistogram(alpha=alpha)
+        b = StreamingHistogram(alpha=alpha)
+        for v in values[:cut]:
+            a.add(v)
+        for v in values[cut:]:
+            b.add(v)
+        assert a.merged(b).snapshot() == b.merged(a).snapshot()
+
+    @given(values=samples, alpha=st.sampled_from([0.01, 0.05]))
+    @settings(max_examples=100, deadline=None)
+    def test_merged_is_associative(self, values, alpha):
+        thirds = max(1, len(values) // 3)
+        parts = [values[:thirds], values[thirds:2 * thirds],
+                 values[2 * thirds:]]
+        a, b, c = (StreamingHistogram(alpha=alpha) for _ in range(3))
+        for hist, part in zip((a, b, c), parts):
+            for v in part:
+                hist.add(v)
+        left = a.merged(b).merged(c)
+        right = a.merged(b.merged(c))
+        assert left.snapshot() == right.snapshot()
+
+    @given(values=samples)
+    @settings(max_examples=50, deadline=None)
+    def test_merged_leaves_operands_unchanged(self, values):
+        cut = len(values) // 2
+        a = StreamingHistogram()
+        b = StreamingHistogram()
+        for v in values[:cut]:
+            a.add(v)
+        for v in values[cut:]:
+            b.add(v)
+        before_a, before_b = a.snapshot(), b.snapshot()
+        a.merged(b)
+        assert a.snapshot() == before_a
+        assert b.snapshot() == before_b
+
+    @given(chunks=chunked, q=quantiles, alpha=st.sampled_from([0.01, 0.05]))
+    @settings(max_examples=200, deadline=None)
+    def test_alpha_bound_survives_arbitrary_merge_trees(
+        self, chunks, q, alpha
+    ):
+        # Build one sketch per chunk, fold them left-to-right; the
+        # result must satisfy the same accuracy bound as a single
+        # sketch over the concatenation.
+        sketches = []
+        for chunk in chunks:
+            hist = StreamingHistogram(alpha=alpha)
+            for v in chunk:
+                hist.add(v)
+            sketches.append(hist)
+        merged = StreamingHistogram.merge_many(sketches, alpha=alpha)
+        flat = [v for chunk in chunks for v in chunk]
+        assert merged.count == len(flat)
+        assert merged.total == sum(flat)
+        if not flat:
+            assert merged.quantile(q) is None
+            return
+        exact = exact_rank_value(flat, q)
+        estimate = merged.quantile(q)
+        assert abs(estimate - exact) <= alpha * exact + 1e-6
+
+    @given(chunks=chunked, alpha=st.sampled_from([0.01, 0.05]))
+    @settings(max_examples=100, deadline=None)
+    def test_merge_many_equals_single_sketch(self, chunks, alpha):
+        sketches = []
+        combined = StreamingHistogram(alpha=alpha)
+        for chunk in chunks:
+            hist = StreamingHistogram(alpha=alpha)
+            for v in chunk:
+                hist.add(v)
+                combined.add(v)
+            sketches.append(hist)
+        merged = StreamingHistogram.merge_many(sketches, alpha=alpha)
+        assert merged.snapshot() == combined.snapshot()
+
+    def test_merge_many_of_nothing_is_empty(self):
+        merged = StreamingHistogram.merge_many([], alpha=0.05)
+        assert merged.count == 0
+        assert merged.alpha == 0.05
+        assert merged.quantile(0.5) is None
+
+    def test_merged_rejects_mismatched_alpha(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(alpha=0.01).merged(
+                StreamingHistogram(alpha=0.02)
+            )
+
+
 class TestEdgeCases:
     def test_empty_histogram_reports_none(self):
         hist = StreamingHistogram()
