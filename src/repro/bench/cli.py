@@ -21,6 +21,7 @@ from typing import List, Optional
 
 from repro.bench.harness import (
     DEFAULT_THRESHOLD,
+    check_throughput_floors,
     compare_suites,
     load_suite,
     render_suite,
@@ -111,6 +112,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         results = run_suite(suite, quick=args.quick)
         print(f"==> {suite}")
         print(render_suite(results))
+        floor_report = check_throughput_floors(suite_to_json(suite, results))
+        if floor_report.checks:
+            print(floor_report.render())
+            failed = failed or not floor_report.passed
         if args.out is not None:
             args.out.mkdir(parents=True, exist_ok=True)
             path = write_suite(args.out / bench_file_name(suite), suite, results)

@@ -302,15 +302,40 @@ def bench_telemetry_ingest() -> int:
     return len(records)
 
 
-def bench_uplink_roundtrip() -> int:
-    """Fleet stream through the full store-and-forward uplink path.
+#: Wall-clock cost (seconds) of one simulated channel step in the
+#: uplink roundtrip benches.  The adversarial channel is a
+#: discrete-event simulation; with free steps, "throughput" would
+#: measure only the encode/apply CPU both protocols share and a
+#: pipelined protocol would be indistinguishable from a lockstep one.
+#: Charging a fixed quantum per step turns link delay into wall time,
+#: which is the regime an ARQ window exists for: stop-and-wait pays
+#: ~1 RTT per batch while the windowed client keeps the link full.
+#: Because both benches run the identical loop, the ratio the floor
+#: gate checks is dominated by step counts, not host speed.
+_LINK_STEP_S = 0.001
+#: One-way link delay in simulated steps (RTT is twice this, plus the
+#: turnaround step).  At 1 ms/step this models a ~8 ms-RTT link.
+_LINK_DELAY_STEPS = 4
+#: Ack timeout (steps) for both clients; above the clean-channel RTT
+#: so neither protocol retransmits spuriously.
+_LINK_ACK_TIMEOUT = 16
 
-    Every record is durably spooled (WAL append), batched by the
-    retrying client, carried over a clean channel, deduplicated,
-    logged append-before-ack, applied, and acknowledged -- the
-    fault-free cost of the chaos harness's data path.
+
+def _run_uplink_roundtrip(windowed: bool) -> int:
+    """One fleet stream through the store-and-forward uplink path.
+
+    Every record is durably spooled (WAL append), carried over a
+    clean but latency-modeled channel (``_LINK_STEP_S`` of wall time
+    per simulated step, ``_LINK_DELAY_STEPS`` each way), deduplicated,
+    logged append-before-ack, applied, and acknowledged.  The two
+    public benches differ *only* in the client wired in: the lockstep
+    stop-and-wait :class:`RetryingUplinkClient` versus the pipelined
+    :class:`WindowedUplinkClient` (multi-record frames, sliding
+    window, cumulative acks, zero-re-encode relay of cached WAL wire
+    lines).
     """
     import tempfile
+    import time as _time
     from pathlib import Path
 
     from repro.telemetry import (
@@ -326,10 +351,12 @@ def bench_uplink_roundtrip() -> int:
         UplinkIngestor,
         WalConfig,
         WalSpooler,
+        WindowedClientConfig,
+        WindowedUplinkClient,
         decode_envelope,
     )
 
-    fleet = FleetConfig(vehicles=2, frames=60, faulty_every=0)
+    fleet = FleetConfig(vehicles=2, frames=120, faulty_every=0)
     records = FleetLoadGenerator(fleet).materialize()
     streams: Dict[str, list] = {}
     for record in records:
@@ -341,12 +368,13 @@ def bench_uplink_roundtrip() -> int:
             TelemetryService(ServiceConfig(store=fleet.store_config())),
             root / "fleet", fsync="never", checkpoint_every=None,
         )
-        clients: Dict[str, RetryingUplinkClient] = {}
+        clients: Dict[str, object] = {}
         down = AdversarialChannel(
             "down",
             lambda frame, now: clients[frame.dst].on_ack(
                 decode_envelope(frame.payload), now
             ),
+            base_delay=_LINK_DELAY_STEPS,
         )
         up = AdversarialChannel(
             "up",
@@ -354,6 +382,7 @@ def bench_uplink_roundtrip() -> int:
                 ingestor.handle_payload(frame.payload, now),
                 "fleet", frame.src, now,
             ),
+            base_delay=_LINK_DELAY_STEPS,
         )
         for source, stream in sorted(streams.items()):
             spooler = WalSpooler.open_fresh(
@@ -361,25 +390,59 @@ def bench_uplink_roundtrip() -> int:
                           segment_max_records=128),
                 source,
             )
-            for record in stream:
-                spooler.append(record)
-            clients[source] = RetryingUplinkClient(
-                spooler,
-                lambda payload, now, src=source: up.send(
-                    payload, src, "fleet", now
-                ),
-                UplinkClientConfig(batch_records=64),
+            spooler.append_many(stream)
+            send = lambda payload, now, src=source: up.send(
+                payload, src, "fleet", now
             )
+            if windowed:
+                clients[source] = WindowedUplinkClient(
+                    spooler, send,
+                    WindowedClientConfig(
+                        frame_records=64, window_frames=8,
+                        ack_timeout=_LINK_ACK_TIMEOUT,
+                    ),
+                )
+            else:
+                clients[source] = RetryingUplinkClient(
+                    spooler, send,
+                    UplinkClientConfig(
+                        batch_records=64, ack_timeout=_LINK_ACK_TIMEOUT,
+                    ),
+                )
         now = 0
         while any(not c.idle() for c in clients.values()) and now < 10_000:
             for client in clients.values():
                 client.tick(now)
             up.step(now)
             down.step(now)
+            _time.sleep(_LINK_STEP_S)
             now += 1
         assert ingestor.service.store.applied == len(records), \
             "uplink lost records on a clean channel"
     return len(records)
+
+
+def bench_uplink_roundtrip() -> int:
+    """Fleet stream through the stop-and-wait uplink over a modeled link.
+
+    The lockstep baseline: one batch in flight, the next send gated on
+    the previous ack, so wall time is ~one RTT per batch (see
+    :func:`_run_uplink_roundtrip` for the shared data path and latency
+    model).
+    """
+    return _run_uplink_roundtrip(windowed=False)
+
+
+def bench_uplink_roundtrip_windowed() -> int:
+    """The same fleet stream through the pipelined windowed-ARQ path.
+
+    Identical data path and latency model as ``uplink_roundtrip``, but
+    the sliding window keeps ``window_frames`` frames in flight, so the
+    link stays full instead of draining once per RTT.  The floor gate
+    holds this at >= 2x the stop-and-wait baseline's throughput
+    (``THROUGHPUT_FLOORS``).
+    """
+    return _run_uplink_roundtrip(windowed=True)
 
 
 def bench_budget_resolve() -> int:
@@ -527,6 +590,8 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
         ("fault_scenario", "faults", "frames", bench_fault_scenario),
         ("telemetry_ingest", "telemetry", "records", bench_telemetry_ingest),
         ("uplink_roundtrip", "telemetry", "records", bench_uplink_roundtrip),
+        ("uplink_roundtrip_windowed", "telemetry", "records",
+         bench_uplink_roundtrip_windowed),
         ("budget_resolve", "adaptive", "records", bench_budget_resolve),
         ("warehouse_ingest", "warehouse", "spans", bench_warehouse_ingest),
         ("warehouse_query", "warehouse", "rows", bench_warehouse_query),

@@ -156,6 +156,7 @@ SUBCOMMANDS: Dict[str, str] = {
     "fig10": "exception detection latencies by case",
     "fig11": "instrumentation overhead microbenchmark (real host)",
     "fig12": "remote timeout entry latencies by context",
+    "gateway": "overload-hardened fleet gateway episode + status report",
     "telemetry": "fleet telemetry service: ingest load run + alerting",
     "trace": "causal span tracing with critical-path latency attribution",
     "warehouse": "span warehouse: ingest runs, cohort queries, diffs",
@@ -199,6 +200,10 @@ def main(argv=None) -> int:
         from repro.warehouse.cli import main as warehouse_main
 
         return warehouse_main(argv[1:])
+    if argv and argv[0] == "gateway":
+        from repro.telemetry.gateway.cli import main as gateway_main
+
+        return gateway_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's figures ('bench' runs the "
@@ -210,8 +215,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS)
-        + ["adapt", "all", "bench", "chaos", "telemetry", "trace",
-           "warehouse"],
+        + ["adapt", "all", "bench", "chaos", "gateway", "telemetry",
+           "trace", "warehouse"],
         help="which subcommand to run (one-line descriptions below)",
     )
     parser.add_argument(

@@ -1,0 +1,59 @@
+"""Overload-hardened fleet gateway over the windowed uplink.
+
+:class:`FleetGateway` fronts the durable
+:class:`~repro.telemetry.uplink.ingest.UplinkIngestor` with sessions
+(shared-secret HELLO handshake), per-source token-bucket rate limits,
+bounded receive windows with explicit window-update backpressure, and
+a NORMAL -> DEGRADED -> SAFE overload ladder that sheds by traffic
+class (dashboards first, alerts never) with counted, announced -- never
+silent -- rejection.  :mod:`repro.telemetry.gateway.chaos` verifies all
+of it under the adversarial channel; :mod:`.status` renders the
+operator dashboard; :mod:`.socket_server` serves the same object over
+TCP.
+"""
+
+from repro.telemetry.gateway.chaos import (
+    GATEWAY_TOKEN,
+    GatewayChaosDriver,
+    GatewayChaosScenario,
+    gateway_scenarios,
+)
+from repro.telemetry.gateway.overload import (
+    CLASS_ALERT,
+    CLASS_DASHBOARD,
+    CLASS_TELEMETRY,
+    GatewayMode,
+    OverloadLadder,
+    OverloadPolicy,
+    SHED_AT,
+    classify,
+)
+from repro.telemetry.gateway.ratelimit import RateLimitConfig, TokenBucket
+from repro.telemetry.gateway.service import FleetGateway, GatewayConfig
+from repro.telemetry.gateway.status import (
+    DEFAULT_STALE_AFTER_NS,
+    render_status,
+    status_report,
+)
+
+__all__ = [
+    "CLASS_ALERT",
+    "CLASS_DASHBOARD",
+    "CLASS_TELEMETRY",
+    "DEFAULT_STALE_AFTER_NS",
+    "FleetGateway",
+    "GATEWAY_TOKEN",
+    "GatewayChaosDriver",
+    "GatewayChaosScenario",
+    "GatewayConfig",
+    "GatewayMode",
+    "OverloadLadder",
+    "OverloadPolicy",
+    "RateLimitConfig",
+    "SHED_AT",
+    "TokenBucket",
+    "classify",
+    "gateway_scenarios",
+    "render_status",
+    "status_report",
+]

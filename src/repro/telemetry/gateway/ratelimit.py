@@ -1,0 +1,75 @@
+"""Deterministic per-source token buckets for gateway admission.
+
+Integer arithmetic on the virtual step counter -- no floats, no wall
+clock -- so every admission decision replays byte-identically.  A
+bucket holds at most ``capacity`` tokens and refills ``refill_per_step``
+tokens per elapsed step (lazily, at the next ``take``); one record
+costs one token.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class RateLimitConfig:
+    """Token-bucket shape shared by every source on a gateway."""
+
+    capacity: int = 256
+    refill_per_step: int = 32
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if self.refill_per_step < 1:
+            raise ValueError("refill_per_step must be >= 1")
+
+
+class TokenBucket:
+    """One source's admission budget, refilled on the step clock."""
+
+    __slots__ = ("config", "tokens", "_last_step", "taken", "denied")
+
+    def __init__(self, config: RateLimitConfig, now: int = 0):
+        self.config = config
+        self.tokens = config.capacity
+        self._last_step = now
+        self.taken = 0
+        self.denied = 0
+
+    def _refill(self, now: int) -> None:
+        elapsed = now - self._last_step
+        if elapsed <= 0:
+            return
+        self.tokens = min(
+            self.config.capacity,
+            self.tokens + elapsed * self.config.refill_per_step,
+        )
+        self._last_step = now
+
+    def take(self, amount: int, now: int) -> bool:
+        """Spend *amount* tokens; False (counted) when short."""
+        self._refill(now)
+        if amount > self.tokens:
+            self.denied += 1
+            return False
+        self.tokens -= amount
+        self.taken += amount
+        return True
+
+    def retry_after(self, amount: int, now: int) -> int:
+        """Steps until *amount* tokens will be available (>= 1)."""
+        self._refill(now)
+        shortfall = amount - self.tokens
+        if shortfall <= 0:
+            return 1
+        per = self.config.refill_per_step
+        return max(1, -(-shortfall // per))
+
+    def to_json(self) -> dict:
+        return {
+            "tokens": self.tokens,
+            "taken": self.taken,
+            "denied": self.denied,
+        }

@@ -1,0 +1,125 @@
+"""Served socket transport: a thin TCP adapter over the gateway.
+
+The gateway itself is transport-agnostic -- everything above is driven
+through :meth:`FleetGateway.handle_payload` / :meth:`step` /
+:meth:`poll_outbox` on a virtual step clock, which is what the chaos
+harness and tests exercise deterministically.  This module is the
+*adapter* that serves the same object over a real TCP socket for
+interactive use:
+
+- **wire format**: length-prefixed payloads, ``<decimal length>\\n``
+  followed by exactly that many UTF-8 bytes.  Frames contain newlines
+  (header line + one WAL entry line per record), so the prefix -- not
+  a newline -- delimits datagrams;
+- **request/response**: after each received payload the server runs
+  one gateway step and writes back every envelope queued for that
+  payload's source (acks, WELCOME/REJECT, window updates);
+- **clock**: one step per received payload, so rate limits and
+  backoff behave sanely without a wall clock (the adapter stays
+  deterministic per request sequence).
+
+One handler thread per connection; all gateway calls serialize behind
+one lock, preserving the single-threaded semantics everything else is
+verified under.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro.telemetry.gateway.service import FleetGateway
+
+MAX_PAYLOAD_BYTES = 1 << 22
+
+
+def send_payload(sock: socket.socket, payload: str) -> None:
+    """Write one length-prefixed payload."""
+    data = payload.encode("utf-8")
+    sock.sendall(f"{len(data)}\n".encode("ascii") + data)
+
+
+def recv_payload(reader) -> Optional[str]:
+    """Read one length-prefixed payload from a file-like reader."""
+    header = reader.readline()
+    if not header:
+        return None
+    try:
+        length = int(header.strip())
+    except ValueError:
+        return None
+    if not (0 <= length <= MAX_PAYLOAD_BYTES):
+        return None
+    data = reader.read(length)
+    if data is None or len(data) != length:
+        return None
+    return data.decode("utf-8", errors="replace")
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    def handle(self) -> None:
+        server: "GatewaySocketServer" = self.server  # type: ignore
+        while True:
+            payload = recv_payload(self.rfile)
+            if payload is None:
+                return
+            for reply in server.submit(payload):
+                send_payload(self.request, reply)
+
+
+class GatewaySocketServer(socketserver.ThreadingTCPServer):
+    """Serve one FleetGateway over TCP (see module docstring)."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(
+        self, gateway: FleetGateway, address: Tuple[str, int] = ("127.0.0.1", 0)
+    ):
+        super().__init__(address, _Handler)
+        self.gateway = gateway
+        self._lock = threading.Lock()
+        self._step = 0
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def submit(self, payload: str) -> list:
+        """One request: queue the payload, run one gateway step, and
+        return every envelope addressed to the payload's source."""
+        with self._lock:
+            now = self._step
+            self._step += 1
+            self.gateway.handle_payload(payload, now)
+            self.gateway.step(now)
+            replies = []
+            keep = []
+            source = _payload_source(payload)
+            for dst, envelope in self.gateway.poll_outbox():
+                if source is not None and dst == source:
+                    replies.append(envelope)
+                else:
+                    keep.append((dst, envelope))
+            # Envelopes for other sources go back to the outbox for
+            # their own connections' next request.
+            self.gateway._outbox = keep + self.gateway._outbox
+            return replies
+
+    def serve_background(self) -> threading.Thread:
+        """Start serving on a daemon thread; returns the thread."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+def _payload_source(payload: str) -> Optional[str]:
+    from repro.telemetry.uplink.transport import decode_envelope
+
+    doc = decode_envelope(payload.split("\n", 1)[0])
+    if doc is None:
+        return None
+    source = doc.get("source")
+    return source if isinstance(source, str) else None

@@ -33,14 +33,21 @@ from repro.telemetry.uplink.ingest import (
 from repro.telemetry.uplink.transport import (
     ACK_SCHEMA,
     BATCH_SCHEMA,
+    FRAME_SCHEMA,
     AdversarialChannel,
     ChannelFaultPlan,
     ChannelStats,
     decode_batch,
     decode_envelope,
+    decode_frame,
     encode_ack,
     encode_batch,
     encode_envelope,
+    encode_frame,
+)
+from repro.telemetry.uplink.window import (
+    WindowedClientConfig,
+    WindowedUplinkClient,
 )
 from repro.telemetry.uplink.wal import (
     FSYNC_POLICIES,
@@ -65,6 +72,7 @@ __all__ = [
     "CircuitState",
     "CrashEvent",
     "DedupWatermark",
+    "FRAME_SCHEMA",
     "FSYNC_POLICIES",
     "IngestRecoveryReport",
     "RecordLog",
@@ -76,12 +84,16 @@ __all__ = [
     "WalConfig",
     "WalCorruptionError",
     "WalSpooler",
+    "WindowedClientConfig",
+    "WindowedUplinkClient",
     "decode_batch",
     "decode_envelope",
+    "decode_frame",
     "default_scenarios",
     "encode_ack",
     "encode_batch",
     "encode_envelope",
+    "encode_frame",
     "run_chaos",
     "store_digest",
 ]

@@ -34,9 +34,10 @@ import argparse
 import json
 import sys
 import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
 
 from repro.telemetry.loadgen import FleetConfig, FleetLoadGenerator
 from repro.telemetry.records import TelemetryRecord
@@ -52,6 +53,40 @@ from repro.telemetry.uplink.transport import (
     decode_envelope,
 )
 from repro.telemetry.uplink.wal import WalConfig, WalSpooler
+from repro.telemetry.uplink.window import (
+    WindowedClientConfig,
+    WindowedUplinkClient,
+)
+
+#: Uplink protocols the harness can drive.
+PROTOCOLS = ("windowed", "stop_and_wait")
+
+#: Cumulative per-scenario protocol counters the report may carry.
+#: ``load_report`` warns on anything else (additive evolution, same
+#: contract as the telemetry schema guards).
+KNOWN_PROTOCOL_COUNTERS = frozenset({
+    # stop-and-wait client
+    "batches_sent", "retries",
+    # windowed client
+    "frames_sent", "retransmits", "fast_retransmits", "dup_acks",
+    "window_stalls", "probes", "floor_probes", "shed_records", "hellos",
+    "rate_rejects", "hello_rejects",
+    # shared
+    "records_sent", "timeouts", "acks", "stale_acks", "circuit_opens",
+    # gateway side
+    "shed_by_class", "auth_rejects", "session_rejects",
+    "window_rejects", "gateway_rate_rejects",
+})
+
+#: Client counters folded into the per-scenario protocol section
+#: (cumulative only -- gauges like ``in_flight`` stay out).
+_CLIENT_COUNTER_KEYS = frozenset({
+    "batches_sent", "retries",
+    "frames_sent", "retransmits", "fast_retransmits", "dup_acks",
+    "window_stalls", "probes", "floor_probes", "shed_records", "hellos",
+    "rate_rejects", "hello_rejects",
+    "records_sent", "timeouts", "acks", "stale_acks", "circuit_opens",
+})
 
 
 # ----------------------------------------------------------------------
@@ -74,6 +109,14 @@ class ChaosConfig:
     fsync: str = "never"
     segment_max_records: int = 32
     checkpoint_every: Optional[int] = 4
+    #: Which uplink client drives each vehicle: the pipelined windowed
+    #: ARQ (default) or the original stop-and-wait (kept as a
+    #: differential baseline).
+    protocol: str = "windowed"
+    #: Fault cadence of the *emitted* stream (0: clean -- chaos usually
+    #: injects its own faults in transport; gateway overload scenarios
+    #: raise it to get an alert/telemetry/dashboard class mix).
+    faulty_every: int = 0
 
     def __post_init__(self) -> None:
         if self.vehicles < 1:
@@ -84,13 +127,15 @@ class ChaosConfig:
             raise ValueError("emit_per_step must be >= 1")
         if self.max_steps < 1:
             raise ValueError("max_steps must be >= 1")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(
+                f"protocol must be one of {PROTOCOLS}, got {self.protocol!r}"
+            )
 
     def fleet_config(self) -> FleetConfig:
-        # faulty_every=0: the chaos harness injects its own faults in
-        # the transport/crash layer; the emitted stream stays clean.
         return FleetConfig(
             vehicles=self.vehicles, frames=self.frames, seed=self.seed,
-            faulty_every=0,
+            faulty_every=self.faulty_every,
         )
 
     def service_config(self) -> ServiceConfig:
@@ -105,6 +150,23 @@ class ChaosConfig:
             backoff_max=32, failure_threshold=4, cooldown=10,
             seed=self.seed,
         )
+
+    def windowed_client_config(
+        self, token: Optional[str] = None
+    ) -> WindowedClientConfig:
+        return WindowedClientConfig(
+            frame_records=16, window_frames=8, ack_timeout=6,
+            backoff_base=2, backoff_max=32, failure_threshold=4,
+            cooldown=10, dup_ack_threshold=3, seed=self.seed,
+            token=token,
+        )
+
+    def protocol_client_config(
+        self, token: Optional[str] = None
+    ) -> Union[UplinkClientConfig, WindowedClientConfig]:
+        if self.protocol == "windowed":
+            return self.windowed_client_config(token)
+        return self.client_config()
 
 
 @dataclass(frozen=True)
@@ -139,6 +201,12 @@ class ChaosScenario:
     #: (off only for scenarios that *lose* records by design).
     check_digest: bool = True
     expect_evictions: bool = False
+
+    def make_driver(
+        self, config: "ChaosConfig", workdir: Path
+    ) -> "ChaosDriver":
+        """Driver factory -- gateway scenarios override this."""
+        return ChaosDriver(self, config, workdir)
 
 
 def default_scenarios() -> List[ChaosScenario]:
@@ -241,6 +309,9 @@ class ScenarioResult:
     channels: dict = field(default_factory=dict)
     ingest: dict = field(default_factory=dict)
     recoveries: dict = field(default_factory=dict)
+    #: Cumulative protocol counters (retransmits, dup-acks, window
+    #: stalls, shed-by-class, ...) summed across vehicle lives.
+    protocol: dict = field(default_factory=dict)
 
     def check(self, name: str, ok: bool, detail: str = "") -> None:
         self.checks.append({"name": name, "ok": bool(ok), "detail": detail})
@@ -257,6 +328,7 @@ class ScenarioResult:
             "channels": self.channels,
             "ingest": self.ingest,
             "recoveries": self.recoveries,
+            "protocol": self.protocol,
         }
 
     def render(self) -> str:
@@ -279,7 +351,7 @@ class _Vehicle:
         source: str,
         records: List[TelemetryRecord],
         wal_config: WalConfig,
-        client_config: UplinkClientConfig,
+        client_config: Union[UplinkClientConfig, WindowedClientConfig],
         send,
     ):
         self.source = source
@@ -296,11 +368,21 @@ class _Vehicle:
         self.offered: Set[int] = set()
         self.acked: Set[int] = set()
         self.evicted: Set[int] = set()
+        #: Seqs the gateway announced as shed (released as *shed*, not
+        #: acked -- a fourth disjoint ledger bucket).
+        self.shed: Set[int] = set()
+        #: Protocol counters folded across client lives.
+        self.proto: Dict[str, int] = {}
         self.spooler = WalSpooler.open_fresh(wal_config, source)
         self.client = self._make_client()
         self._wire()
 
-    def _make_client(self) -> RetryingUplinkClient:
+    def _make_client(self):
+        if isinstance(self.client_config, WindowedClientConfig):
+            return WindowedUplinkClient(
+                self.spooler, self._send, self.client_config,
+                life=self.lives,
+            )
         return RetryingUplinkClient(
             self.spooler, self._send, self.client_config, life=self.lives
         )
@@ -312,6 +394,18 @@ class _Vehicle:
         self.client.on_acked = lambda released: self.acked.update(
             record.seq for record in released
         )
+        if hasattr(self.client, "on_shed"):
+            self.client.on_shed = lambda released: self.shed.update(
+                record.seq for record in released
+            )
+
+    def fold_proto(self) -> None:
+        """Fold this client life's cumulative counters into the
+        ledger-side totals (called before the client is discarded, and
+        once at scenario end for the live client)."""
+        for key, value in self.client.stats().items():
+            if key in _CLIENT_COUNTER_KEYS and isinstance(value, int):
+                self.proto[key] = self.proto.get(key, 0) + value
 
     # ------------------------------------------------------------------
     def emit(self, budget: int) -> None:
@@ -331,6 +425,7 @@ class _Vehicle:
         """Simulate process death at a record boundary -- or, with
         *torn_tail*, mid-append: the newest WAL line is half-written."""
         self.alive = False
+        self.fold_proto()
         handle = self.spooler._file
         if handle is not None and not handle.closed:
             handle.flush()
@@ -371,15 +466,17 @@ class _Vehicle:
     # ------------------------------------------------------------------
     def ledger_json(self) -> dict:
         spooled = set(self.spooler.pending_seqs())
-        union = self.acked | spooled | self.evicted
+        union = self.acked | spooled | self.evicted | self.shed
         disjoint = (
-            len(self.acked) + len(spooled) + len(self.evicted) == len(union)
+            len(self.acked) + len(spooled) + len(self.evicted)
+            + len(self.shed) == len(union)
         )
         return {
             "offered": len(self.offered),
             "acked": len(self.acked),
             "spooled": len(spooled),
             "evicted": len(self.evicted),
+            "shed": len(self.shed),
             "balanced": self.offered == union and disjoint,
         }
 
@@ -422,7 +519,8 @@ class ChaosDriver:
                 max_bytes=scenario.wal_max_bytes,
             )
             self.vehicles.append(_Vehicle(
-                source, streams[source], wal_config, config.client_config(),
+                source, streams[source], wal_config,
+                self._vehicle_client_config(source),
                 self._make_send(source),
             ))
         self.server_dir = self.workdir / "fleet"
@@ -439,6 +537,10 @@ class ChaosDriver:
         self._now = 0
 
     # ------------------------------------------------------------------
+    def _vehicle_client_config(self, source: str):
+        """Per-vehicle client config (gateway driver injects tokens)."""
+        return self.config.protocol_client_config()
+
     def _make_send(self, source: str):
         return lambda payload, now: self.up.send(
             payload, src=source, dst="fleet", now=now
@@ -452,6 +554,14 @@ class ChaosDriver:
         ack = self.ingestor.handle_payload(frame.payload, now)
         if ack is not None:
             self.down.send(ack, src="fleet", dst=frame.src, now=now)
+
+    def _server_step(self, now: int) -> None:
+        """Per-step server work (the gateway driver drains its backlog
+        and outbox here; the bare ingestor is purely reactive)."""
+
+    def _server_idle(self) -> bool:
+        """Extra convergence predicate for stateful servers."""
+        return True
 
     def _deliver_down(self, frame, now: int) -> None:
         vehicle = next(
@@ -513,6 +623,7 @@ class ChaosDriver:
                 if vehicle.alive:
                     vehicle.emit(self.config.emit_per_step)
             self.up.step(now)
+            self._server_step(now)
             self.down.step(now)
             for vehicle in self.vehicles:
                 if vehicle.alive:
@@ -523,6 +634,7 @@ class ChaosDriver:
                 and all(v.alive and v.drained for v in self.vehicles)
                 and all(v.client.idle() for v in self.vehicles)
                 and self.up.pending() == 0 and self.down.pending() == 0
+                and self._server_idle()
             ):
                 result.converged_at = now
                 break
@@ -592,6 +704,14 @@ class ChaosDriver:
             "down": self.down.stats.to_json(),
         }
         result.ingest = self.ingestor.stats()
+        totals: Dict[str, int] = {}
+        for vehicle in self.vehicles:
+            if vehicle.alive:  # dead clients folded at kill() time
+                vehicle.fold_proto()
+            for key, value in vehicle.proto.items():
+                totals[key] = totals.get(key, 0) + value
+        result.protocol = totals
+        self._finish_server(result)
         result.recoveries = {
             "server": self.server_recoveries,
             "vehicles": {
@@ -602,6 +722,9 @@ class ChaosDriver:
                 for v in self.vehicles if v.recoveries
             },
         }
+
+    def _finish_server(self, result: ScenarioResult) -> None:
+        """Server-side scenario checks (gateway driver adds its own)."""
 
 
 # ----------------------------------------------------------------------
@@ -620,12 +743,12 @@ def run_chaos(
         with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
             for scenario in scenarios:
                 results.append(
-                    ChaosDriver(scenario, config, Path(tmp)).run()
+                    scenario.make_driver(config, Path(tmp)).run()
                 )
     else:
         for scenario in scenarios:
             results.append(
-                ChaosDriver(scenario, config, Path(workdir)).run()
+                scenario.make_driver(config, Path(workdir)).run()
             )
     return {
         "schema": "repro-chaos-report/1",
@@ -634,10 +757,37 @@ def run_chaos(
             "frames": config.frames,
             "seed": config.seed,
             "fsync": config.fsync,
+            "protocol": config.protocol,
         },
         "ok": all(r.ok for r in results),
         "scenarios": [r.to_json() for r in results],
     }
+
+
+def load_report(source: Union[str, Path, dict]) -> dict:
+    """Load (and sanity-guard) a ``--report`` JSON document.
+
+    Unknown per-scenario protocol counters warn instead of failing --
+    the same additive-evolution contract as the telemetry schema
+    guards: a report written by a newer build stays readable."""
+    if isinstance(source, dict):
+        report = source
+    else:
+        report = json.loads(Path(source).read_text())
+    schema = report.get("schema")
+    if schema != "repro-chaos-report/1":
+        raise ValueError(f"not a chaos report (schema={schema!r})")
+    for entry in report.get("scenarios", []):
+        counters = entry.get("protocol", {})
+        unknown = sorted(set(counters) - KNOWN_PROTOCOL_COUNTERS)
+        if unknown:
+            warnings.warn(
+                f"chaos report scenario {entry.get('name')!r}: ignoring "
+                f"unknown protocol counter(s) {unknown} "
+                f"(written by a newer build?)",
+                stacklevel=2,
+            )
+    return report
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -660,9 +810,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                         metavar="PATH", help="work under PATH (kept)")
     parser.add_argument("--fsync", choices=("always", "rotate", "never"),
                         default="never")
+    parser.add_argument("--protocol", choices=PROTOCOLS,
+                        default="windowed",
+                        help="uplink client protocol (default: windowed)")
     args = parser.parse_args(argv)
 
     scenarios = default_scenarios()
+    if args.protocol == "windowed":
+        # Gateway scenarios need the windowed client (frames + sessions).
+        from repro.telemetry.gateway.chaos import gateway_scenarios
+
+        scenarios = scenarios + gateway_scenarios()
     if args.list:
         for scenario in scenarios:
             print(f"{scenario.name:<14s} {scenario.description}")
@@ -679,6 +837,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         frames=args.frames or (16 if args.quick else 40),
         seed=args.seed,
         fsync=args.fsync,
+        protocol=args.protocol,
     )
     report = run_chaos(config, scenarios, workdir=args.dir)
     for entry in report["scenarios"]:

@@ -34,6 +34,7 @@ from repro.telemetry.uplink.transport import (
     BATCH_SCHEMA,
     decode_batch,
     decode_envelope,
+    decode_frame,
     encode_ack,
 )
 from repro.telemetry.uplink.wal import RecordLog
@@ -67,9 +68,7 @@ class DedupWatermark:
             return False
         self.seen.add(seq)
         self.admitted += 1
-        while self.watermark + 1 in self.seen:
-            self.watermark += 1
-            self.seen.discard(self.watermark)
+        self._sweep()
         return True
 
     def advance_to(self, seq: int) -> None:
@@ -79,11 +78,52 @@ class DedupWatermark:
         in spool (seq) order and anything below the batch is either
         already admitted or evicted vehicle-side -- it will never be
         offered again, so collapsing the window loses nothing.
+
+        The pipelined protocol must NOT call this with a frame maximum
+        (frames arrive out of order; a lower frame may still be in
+        flight).  It calls it with ``floor - 1`` instead, where
+        ``floor`` is the lowest seq the vehicle can still offer -- see
+        :func:`~repro.telemetry.uplink.transport.encode_frame`.
         """
         if seq <= self.watermark:
             return
         self.watermark = seq
         self.seen = {s for s in self.seen if s > seq}
+        # The jump may land directly below out-of-order settled seqs;
+        # without this sweep the watermark deadlocks when those seqs
+        # are never re-offered (e.g. shed-announced records a windowed
+        # client holds back, so the floor stops rising).
+        self._sweep()
+
+    def _sweep(self) -> None:
+        """Fold contiguous settled seqs into the cumulative watermark."""
+        while self.watermark + 1 in self.seen:
+            self.watermark += 1
+            self.seen.discard(self.watermark)
+
+    def sack_ranges(self, limit: int = 16) -> List[List[int]]:
+        """Contiguous ``[lo, hi]`` runs of above-watermark seen seqs.
+
+        These ride acks as selective acknowledgments so the windowed
+        client skips retransmitting frames that are already durable.
+        Truncated to the *lowest* ``limit`` runs (the ones retransmit
+        timers would fire for first); dropping higher runs is safe --
+        sack is an optimization, cumulative acks are the truth.
+        """
+        runs: List[List[int]] = []
+        run: Optional[List[int]] = None
+        for seq in sorted(self.seen):
+            if run is not None and seq == run[1] + 1:
+                run[1] = seq
+            else:
+                if run is not None:
+                    runs.append(run)
+                    if len(runs) >= limit:
+                        return runs
+                run = [seq, seq]
+        if run is not None:
+            runs.append(run)
+        return runs
 
     # ------------------------------------------------------------------
     def to_json(self) -> dict:
@@ -100,6 +140,7 @@ class DedupWatermark:
         dedup.seen = set(data.get("seen", ()))
         dedup.admitted = int(data.get("admitted", 0))
         dedup.duplicates = int(data.get("duplicates", 0))
+        dedup._sweep()  # normalize checkpoints from pre-sweep versions
         return dedup
 
     def __repr__(self) -> str:  # pragma: no cover
@@ -142,19 +183,28 @@ class UplinkIngestor:
             self._wal_path(), fsync
         )
         self.dedup: Dict[str, DedupWatermark] = {}
+        #: Admitted-but-not-yet-applied records (seq above the dedup
+        #: watermark, waiting for lower seqs).  Durable in the log /
+        #: checkpoint; bounded by the client's window.
+        self._held: Dict[str, Dict[int, TelemetryRecord]] = {}
         #: Called with each batch's *fresh* (deduplicated) records just
         #: after they were applied -- the control plane's observation
         #: tap.  Soft state: recovery replay does not re-fire it.
         self.on_fresh: Optional[Callable[[List[TelemetryRecord]], None]] = None
+        #: Called with ``(source, newly settled shed seqs)`` when an
+        #: overload ``shed`` hook rejects records (gateway accounting).
+        self.on_shed_settled: Optional[Callable[[str, List[int]], None]] = None
         self._since_checkpoint = 0
         # Counters.
         self.payloads = 0
         self.corrupt_payloads = 0
         self.foreign_payloads = 0
         self.batches = 0
+        self.frames = 0
         self.records_seen = 0
         self.records_fresh = 0
         self.records_duplicate = 0
+        self.records_shed = 0
         self.acks_sent = 0
         self.checkpoints = 0
 
@@ -171,12 +221,34 @@ class UplinkIngestor:
             dedup = self.dedup[source] = DedupWatermark()
         return dedup
 
+    def _held_for(self, source: str) -> Dict[int, TelemetryRecord]:
+        held = self._held.get(source)
+        if held is None:
+            held = self._held[source] = {}
+        return held
+
+    def _drain_held(self, source: str) -> List[TelemetryRecord]:
+        """Admitted records whose every lower seq is now settled, in
+        seq order -- the only order the store ever sees."""
+        held = self._held.get(source)
+        if not held:
+            return []
+        watermark = self._dedup(source).watermark
+        ready = sorted(seq for seq in held if seq <= watermark)
+        return [held.pop(seq) for seq in ready]
+
     # ------------------------------------------------------------------
     def handle_payload(self, payload: str, now: int = 0) -> Optional[str]:
         """Process one uplink datagram; returns the ack payload or
         ``None`` when the datagram was corrupt / not a batch (counted,
         never silent)."""
         self.payloads += 1
+        if isinstance(payload, str) and "\n" in payload:
+            # Pipelined multi-record frame (header line + entry lines).
+            header = self.ingest_frame(payload, now)
+            if header is None:
+                return None
+            return self.ack_payload(header["source"], header["frame_id"])
         doc = decode_envelope(payload)
         if doc is None:
             self.corrupt_payloads += 1
@@ -231,6 +303,103 @@ class UplinkIngestor:
         return ack
 
     # ------------------------------------------------------------------
+    def ingest_frame(
+        self,
+        payload: str,
+        now: int = 0,
+        sync: bool = True,
+        shed: Optional[Callable[[List[TelemetryRecord]], Set[int]]] = None,
+    ) -> Optional[dict]:
+        """Ingest one pipelined frame; returns its header (or ``None``
+        when the frame was damaged -- counted, never silent).
+
+        Frames arrive out of order, so the dedup watermark is advanced
+        only to ``floor - 1`` (seqs the vehicle can no longer offer)
+        and then through contiguous admission.  ``sync=False`` defers
+        log durability to the caller (the gateway coalesces one sync
+        per step across many frames) -- the caller MUST sync before
+        acknowledging.
+
+        ``shed`` is the gateway's overload hook: it nominates seqs to
+        reject by class.  A nominated seq is *settled* in dedup (so the
+        cumulative ack sweeps past it) but never applied -- unless an
+        earlier copy was already admitted, in which case the nomination
+        is void (the record IS durable; shedding it now would lie).
+        Newly settled shed seqs are reported through
+        :attr:`on_shed_settled` and counted, never silent.
+        """
+        decoded = decode_frame(payload)
+        if decoded is None:
+            self.corrupt_payloads += 1
+            return None
+        header, records, lines = decoded
+        source = header["source"]
+        dedup = self._dedup(source)
+        self.frames += 1
+        self.records_seen += len(records)
+        floor = header["floor"]
+        if floor > 0:
+            dedup.advance_to(floor - 1)
+        nominated = shed(records) if shed is not None else ()
+        held = self._held_for(source)
+        newly_shed: List[int] = []
+        for record, line in zip(records, lines):
+            if record.seq in nominated:
+                if dedup.admit(record.seq):
+                    newly_shed.append(record.seq)
+                    self.records_shed += 1
+                else:
+                    self.records_duplicate += 1
+                continue
+            if dedup.admit(record.seq):
+                # The line's CRC was verified in decode_frame: relay it
+                # to the log verbatim, no re-encode.  Durable now,
+                # applied below only once every lower seq is settled --
+                # out-of-order frames must not perturb the store's
+                # per-source gap/reorder accounting, which is what
+                # keeps the pipelined store state byte-identical to
+                # stop-and-wait.
+                self.log.append_raw(line)
+                held[record.seq] = record
+                self.records_fresh += 1
+            else:
+                self.records_duplicate += 1
+        if newly_shed and self.on_shed_settled is not None:
+            self.on_shed_settled(source, newly_shed)
+        self.log.append_marker(source, dedup.watermark)
+        if sync:
+            self.log.sync()
+        fresh = self._drain_held(source)
+        if fresh:
+            self.service.ingest_many(fresh)
+            self.service.pump()
+            if self.on_fresh is not None:
+                self.on_fresh(fresh)
+        self._since_checkpoint += 1
+        if (
+            self.checkpoint_every is not None
+            and self._since_checkpoint >= self.checkpoint_every
+        ):
+            self.checkpoint()
+        return header
+
+    def ack_payload(
+        self,
+        source: str,
+        frame_id: int,
+        shed: Optional[List[int]] = None,
+        window: Optional[int] = None,
+    ) -> str:
+        """One ack envelope from current dedup state (watermark +
+        selective-ack ranges), with optional gateway fields."""
+        dedup = self._dedup(source)
+        self.acks_sent += 1
+        return encode_ack(
+            source, frame_id, dedup.watermark,
+            sack=dedup.sack_ranges(), shed=shed, window=window,
+        )
+
+    # ------------------------------------------------------------------
     def checkpoint(self) -> None:
         """Atomically persist store + dedup state, then truncate the
         log (its contents are now folded into the checkpoint)."""
@@ -241,6 +410,16 @@ class UplinkIngestor:
             "dedup": {
                 source: dedup.to_json()
                 for source, dedup in sorted(self.dedup.items())
+            },
+            # Admitted-but-unapplied records must survive the log
+            # truncation below -- they are durable, just waiting for
+            # lower seqs before the store may see them.
+            "held": {
+                source: [
+                    list(record.to_wire())
+                    for _, record in sorted(held.items())
+                ]
+                for source, held in sorted(self._held.items()) if held
             },
         }
         path = self._checkpoint_path()
@@ -273,6 +452,7 @@ class UplinkIngestor:
         report = IngestRecoveryReport()
         service = TelemetryService(service_config)
         dedup: Dict[str, DedupWatermark] = {}
+        held: Dict[str, Dict[int, TelemetryRecord]] = {}
 
         checkpoint_path = directory / "checkpoint.json"
         if checkpoint_path.exists():
@@ -286,6 +466,10 @@ class UplinkIngestor:
                 source: DedupWatermark.from_json(state)
                 for source, state in data.get("dedup", {}).items()
             }
+            for source, rows in data.get("held", {}).items():
+                restored = [TelemetryRecord.from_wire(tuple(row))
+                            for row in rows]
+                held[source] = {r.seq: r for r in restored}
             report.checkpoint_loaded = True
 
         log = RecordLog.open_existing(directory / "ingest-wal.log", fsync)
@@ -297,7 +481,7 @@ class UplinkIngestor:
                 if source_dedup is None:
                     source_dedup = dedup[record.source] = DedupWatermark()
                 if source_dedup.admit(record.seq):
-                    service.ingest(record)
+                    held.setdefault(record.source, {})[record.seq] = record
                     report.replayed_fresh += 1
             elif marker is not None:
                 source, seq = marker
@@ -306,6 +490,13 @@ class UplinkIngestor:
                     source_dedup = dedup[source] = DedupWatermark()
                 source_dedup.advance_to(seq)
                 report.replayed_markers += 1
+        # Apply in seq order per source, exactly as the live path
+        # would have; what stays held is above the watermark.
+        for source, records in sorted(held.items()):
+            watermark = dedup[source].watermark
+            ready = sorted(seq for seq in records if seq <= watermark)
+            if ready:
+                service.ingest_many([records.pop(seq) for seq in ready])
         service.pump()
 
         ingestor = cls(
@@ -313,6 +504,7 @@ class UplinkIngestor:
             checkpoint_every=checkpoint_every, _log=log,
         )
         ingestor.dedup = dedup
+        ingestor._held = {s: h for s, h in held.items() if h}
         return ingestor, report
 
     # ------------------------------------------------------------------
@@ -322,9 +514,11 @@ class UplinkIngestor:
             "corrupt_payloads": self.corrupt_payloads,
             "foreign_payloads": self.foreign_payloads,
             "batches": self.batches,
+            "frames": self.frames,
             "records_seen": self.records_seen,
             "records_fresh": self.records_fresh,
             "records_duplicate": self.records_duplicate,
+            "records_shed": self.records_shed,
             "acks_sent": self.acks_sent,
             "checkpoints": self.checkpoints,
             "sources": {

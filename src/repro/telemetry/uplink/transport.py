@@ -40,10 +40,19 @@ from repro.telemetry.records import TelemetryRecord
 #: Envelope schema identifiers.
 BATCH_SCHEMA = "repro-uplink-batch/1"
 ACK_SCHEMA = "repro-uplink-ack/1"
+#: Pipelined multi-record frame: a CRC-framed header line followed by
+#: the records' WAL entry lines verbatim (one per line).  Unlike a
+#: batch envelope there is no re-serialization: the vehicle sends the
+#: exact bytes its WAL holds, and the ingestor appends them verbatim.
+FRAME_SCHEMA = "repro-uplink-frame/1"
 #: Control-plane epoch distribution rides the same channel: an epoch
 #: frame travels the downlink (fleet -> vehicle), its ack the uplink.
 EPOCH_FRAME_SCHEMA = "repro-adaptive-frame/1"
 EPOCH_ACK_SCHEMA = "repro-adaptive-frame-ack/1"
+#: Gateway session control (vehicle <-> fleet gateway handshake).
+HELLO_SCHEMA = "repro-gateway-hello/1"
+WELCOME_SCHEMA = "repro-gateway-welcome/1"
+REJECT_SCHEMA = "repro-gateway-reject/1"
 
 
 # ----------------------------------------------------------------------
@@ -97,14 +106,169 @@ def decode_batch(doc: dict) -> Optional[List[TelemetryRecord]]:
         return None
 
 
-def encode_ack(source: str, batch_id: int, ack_through: int) -> str:
-    """One cumulative acknowledgment envelope."""
-    return encode_envelope({
+def encode_ack(
+    source: str,
+    batch_id: int,
+    ack_through: int,
+    sack: Optional[Sequence[Sequence[int]]] = None,
+    shed: Optional[Sequence[int]] = None,
+    window: Optional[int] = None,
+) -> str:
+    """One cumulative acknowledgment envelope.
+
+    The pipelined protocol rides three additive fields on the same
+    ``repro-uplink-ack/1`` schema (absent fields mean stop-and-wait
+    semantics, so old acks stay decodable):
+
+    - ``sack`` -- selective-ack ``[lo, hi]`` ranges above the
+      cumulative watermark that are already durable fleet-side, so the
+      client skips retransmitting them;
+    - ``shed`` -- the *cumulative sorted* list of seqs the gateway shed
+      under overload (counted rejection, never silent): the client
+      must stop offering them and account them in its ledger;
+    - ``window`` -- the advertised per-connection receive window in
+      records (explicit backpressure: 0 means "stall until the next
+      window update").
+    """
+    doc = {
         "schema": ACK_SCHEMA,
         "source": source,
         "batch_id": batch_id,
         "ack_through": ack_through,
+    }
+    if sack:
+        doc["sack"] = [list(pair) for pair in sack]
+    if shed:
+        doc["shed"] = list(shed)
+    if window is not None:
+        doc["window"] = int(window)
+    return encode_envelope(doc)
+
+
+# ----------------------------------------------------------------------
+# Pipelined multi-record frames
+# ----------------------------------------------------------------------
+def encode_frame(
+    source: str, frame_id: int, floor: int, entries: Sequence[str]
+) -> str:
+    """One pipelined uplink frame.
+
+    ``entries`` are CRC-framed WAL lines (from
+    :meth:`~repro.telemetry.uplink.wal.WalSpooler.pending_entries`),
+    joined verbatim under a CRC-framed header line.  ``floor`` is the
+    lowest seq the vehicle may still offer (the spool's
+    :attr:`~repro.telemetry.uplink.wal.WalSpooler.floor_seq` at build
+    time): the ingestor advances its dedup watermark to ``floor - 1``,
+    which is what keeps eviction from stalling the cumulative ack.
+    """
+    header = json.dumps(
+        {"schema": FRAME_SCHEMA, "source": source, "frame_id": frame_id,
+         "floor": floor, "count": len(entries)},
+        separators=(",", ":"), sort_keys=True,
+    )
+    crc = zlib.crc32(header.encode("utf-8")) & 0xFFFFFFFF
+    if not entries:
+        # An empty frame is a pure floor/ack probe; the trailing newline
+        # keeps it distinguishable from single-line JSON envelopes.
+        return f"{crc:08x}:{header}\n"
+    return "\n".join([f"{crc:08x}:{header}", *entries])
+
+
+def decode_frame(
+    payload: str,
+) -> Optional[Tuple[dict, List[TelemetryRecord], List[str]]]:
+    """``(header, records, raw entry lines)``; ``None`` on any damage.
+
+    A frame is all-or-nothing: a corrupt header, a corrupt record line,
+    or a truncated tail (``count`` mismatch) rejects the whole frame --
+    the retransmit timer heals it, exactly-once dedup absorbs the
+    overlap.
+    """
+    if not isinstance(payload, str) or "\n" not in payload:
+        return None
+    lines = payload.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()  # empty-frame probe: header line + trailing newline
+    head = lines[0]
+    if len(head) < 10 or head[8] != ":":
+        return None
+    body = head[9:]
+    try:
+        crc = int(head[:8], 16)
+    except ValueError:
+        return None
+    if zlib.crc32(body.encode("utf-8")) & 0xFFFFFFFF != crc:
+        return None
+    try:
+        header = json.loads(body)
+    except ValueError:
+        return None
+    if (
+        not isinstance(header, dict)
+        or header.get("schema") != FRAME_SCHEMA
+        or not isinstance(header.get("source"), str)
+        or not isinstance(header.get("frame_id"), int)
+        or not isinstance(header.get("floor"), int)
+        or header.get("count") != len(lines) - 1
+    ):
+        return None
+    records: List[TelemetryRecord] = []
+    for line in lines[1:]:
+        if len(line) < 10 or line[8] != ":":
+            return None
+        entry_body = line[9:]
+        try:
+            entry_crc = int(line[:8], 16)
+        except ValueError:
+            return None
+        if zlib.crc32(entry_body.encode("utf-8")) & 0xFFFFFFFF != entry_crc:
+            return None
+        try:
+            fields = json.loads(entry_body)
+        except ValueError:
+            return None
+        if not isinstance(fields, list):
+            return None
+        try:
+            records.append(TelemetryRecord.from_wire(tuple(fields)))
+        except ValueError:
+            return None
+    return header, records, lines[1:]
+
+
+def encode_hello(source: str, token: str, life: int = 0) -> str:
+    """Session-open request (vehicle -> gateway) with the shared secret."""
+    return encode_envelope({
+        "schema": HELLO_SCHEMA,
+        "source": source,
+        "token": token,
+        "life": life,
     })
+
+
+def encode_welcome(source: str, window: int) -> str:
+    """Session grant carrying the initial receive window (records)."""
+    return encode_envelope({
+        "schema": WELCOME_SCHEMA,
+        "source": source,
+        "window": int(window),
+    })
+
+
+def encode_reject(
+    source: str, reason: str, retry_after: Optional[int] = None
+) -> str:
+    """Counted, never-silent refusal.
+
+    ``reason`` is ``auth`` (terminal: bad shared secret), ``hello``
+    (no session -- e.g. the gateway crashed and forgot it; re-handshake
+    and resume), or ``rate`` (token bucket empty; back off
+    ``retry_after`` steps and retransmit).
+    """
+    doc = {"schema": REJECT_SCHEMA, "source": source, "reason": reason}
+    if retry_after is not None:
+        doc["retry_after"] = int(retry_after)
+    return encode_envelope(doc)
 
 
 def encode_epoch_frame(vehicle: str, epoch_doc: dict) -> str:

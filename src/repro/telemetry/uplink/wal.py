@@ -148,13 +148,18 @@ class RecoveryReport:
 class _Segment:
     """In-memory mirror of one WAL segment file."""
 
-    __slots__ = ("index", "path", "records", "nbytes", "max_seq", "closed")
+    __slots__ = ("index", "path", "records", "lines", "nbytes", "max_seq",
+                 "closed")
 
     def __init__(self, index: int, path: Path):
         self.index = index
         self.path = path
         #: Pending (not yet acked/evicted) records, in append order.
         self.records: List[TelemetryRecord] = []
+        #: CRC-framed wire lines, aligned 1:1 with :attr:`records`.  The
+        #: spooler pays the JSON encode exactly once (at append), and
+        #: frame building / relay reuses the cached line verbatim.
+        self.lines: List[str] = []
         self.nbytes = 0
         #: Highest seq ever written to the file (survives mirror pops).
         self.max_seq = -1
@@ -256,26 +261,74 @@ class WalSpooler:
     def pending_seqs(self) -> List[int]:
         return [r.seq for s in self.segments for r in s.records]
 
+    def pending_entries(
+        self, limit: Optional[int] = None, above_seq: int = -1
+    ) -> List[Tuple[TelemetryRecord, str]]:
+        """Oldest pending ``(record, wire line)`` pairs above ``above_seq``.
+
+        The line is the exact CRC-framed entry on disk; the windowed
+        client joins these into multi-record frames without re-encoding.
+        """
+        out: List[Tuple[TelemetryRecord, str]] = []
+        for segment in self.segments:
+            if segment.max_seq <= above_seq:
+                continue
+            for record, line in zip(segment.records, segment.lines):
+                if record.seq <= above_seq:
+                    continue
+                out.append((record, line))
+                if limit is not None and len(out) >= limit:
+                    return out
+        return out
+
+    @property
+    def floor_seq(self) -> int:
+        """Lowest seq the vehicle may still offer.
+
+        Equals the oldest pending seq, or ``last_seq + 1`` when the
+        spool is drained.  Evictions raise the floor past the evicted
+        records, which is exactly what lets the ingest watermark skip
+        them instead of waiting forever.
+        """
+        for segment in self.segments:
+            if segment.records:
+                return segment.records[0].seq
+        return self.last_seq + 1
+
     # ------------------------------------------------------------------
     def append(self, record: TelemetryRecord) -> None:
         """Durably spool one record (must carry a fresh, higher seq)."""
-        if record.seq <= self.last_seq:
-            raise ValueError(
-                f"seq must increase: {record.seq} after {self.last_seq}"
-            )
-        line = encode_entry(record.encode_line())
-        self._file.write(line + "\n")
+        self.append_many([record])
+
+    def append_many(self, records: List[TelemetryRecord]) -> None:
+        """Durably spool a batch with one flush (and one fsync).
+
+        Same per-record guarantees as :meth:`append` -- every record
+        hits the file before the method returns -- but the flush/fsync
+        cost is paid once per batch, which is what makes the pipelined
+        uplink's emit path cheap.
+        """
+        if not records:
+            return
+        for record in records:
+            if record.seq <= self.last_seq:
+                raise ValueError(
+                    f"seq must increase: {record.seq} after {self.last_seq}"
+                )
+            line = encode_entry(record.encode_line())
+            self._file.write(line + "\n")
+            segment = self._active()
+            segment.records.append(record)
+            segment.lines.append(line)
+            segment.nbytes += len(line) + 1
+            segment.max_seq = record.seq
+            self.last_seq = record.seq
+            self.appended += 1
+            if len(segment.records) >= self.config.segment_max_records:
+                self._rotate()
         self._file.flush()
         if self.config.fsync == "always":
             self._fsync()
-        segment = self._active()
-        segment.records.append(record)
-        segment.nbytes += len(line) + 1
-        segment.max_seq = record.seq
-        self.last_seq = record.seq
-        self.appended += 1
-        if len(segment.records) >= self.config.segment_max_records:
-            self._rotate()
         self._enforce_budget()
 
     def _rotate(self) -> None:
@@ -314,11 +367,16 @@ class WalSpooler:
         released: List[TelemetryRecord] = []
         for segment in list(self.segments):
             if segment.records and segment.records[0].seq <= seq:
-                keep = [r for r in segment.records if r.seq > seq]
-                released.extend(
-                    r for r in segment.records if r.seq <= seq
-                )
+                keep = []
+                keep_lines = []
+                for record, line in zip(segment.records, segment.lines):
+                    if record.seq > seq:
+                        keep.append(record)
+                        keep_lines.append(line)
+                    else:
+                        released.append(record)
                 segment.records = keep
+                segment.lines = keep_lines
             if segment.closed and segment.max_seq <= seq:
                 segment.path.unlink(missing_ok=True)
                 self.segments.remove(segment)
@@ -393,9 +451,12 @@ class WalSpooler:
                 continue  # torn header on the last file: removed
             if seqs:
                 last_seq = max(last_seq, seqs[-1])
-            segment.records = [
-                r for r in segment.records if r.seq > spooler.ack_mark
+            kept = [
+                (r, ln) for r, ln in zip(segment.records, segment.lines)
+                if r.seq > spooler.ack_mark
             ]
+            segment.records = [r for r, _ in kept]
+            segment.lines = [ln for _, ln in kept]
             segment.closed = True
             spooler.segments.append(segment)
 
@@ -485,6 +546,7 @@ class WalSpooler:
                 dropped = 1
                 break
             segment.records.append(record)
+            segment.lines.append(line)
             segment.max_seq = record.seq
             seqs.append(record.seq)
             kept_bytes += len(line.encode("utf-8")) + 1
@@ -542,6 +604,16 @@ class RecordLog:
     # ------------------------------------------------------------------
     def append_record(self, record: TelemetryRecord) -> None:
         self._file.write(encode_entry(record.encode_line()) + "\n")
+        self.entries += 1
+
+    def append_raw(self, entry: str) -> None:
+        """Append an already CRC-framed entry line verbatim.
+
+        The frame path hands the vehicle's WAL lines straight through:
+        the CRC was verified at decode, so re-encoding (the single
+        hottest cost of the stop-and-wait ingest path) is skipped.
+        """
+        self._file.write(entry + "\n")
         self.entries += 1
 
     def append_marker(self, source: str, seq: int) -> None:

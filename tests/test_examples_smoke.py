@@ -55,6 +55,13 @@ class TestExamples:
         assert "budget burn" in out
         assert "chrome trace events" in out
 
+    def test_fleet_gateway(self):
+        out = run_example("fleet_gateway.py")
+        assert "episode PASS" in out
+        assert "alerts shed: 0 (never)" in out
+        assert "ledger balanced for all 50 vehicles" in out
+        assert "ladder returned to NORMAL" in out
+
     def test_trace_warehouse(self):
         out = run_example("trace_warehouse.py")
         assert "re-ingest skipped; warehouse digest unchanged" in out
@@ -73,6 +80,7 @@ class TestExamples:
             "parallel_campaign.py",
             "telemetry_fleet.py",
             "telemetry_uplink.py",
+            "fleet_gateway.py",
             "trace_attribution.py",
             "trace_warehouse.py",
             "adaptive_budgeting.py",

@@ -1,0 +1,138 @@
+"""Gateway chaos scenarios end to end, the chaos report's protocol
+counters, and the TCP adapter round trip."""
+
+import json
+
+import pytest
+
+from repro.telemetry.gateway import gateway_scenarios
+from repro.telemetry.uplink.chaos import (
+    ChaosConfig,
+    KNOWN_PROTOCOL_COUNTERS,
+    load_report,
+)
+
+QUICK = ChaosConfig(vehicles=3, frames=10, seed=2025)
+
+
+def _run(name):
+    scenario = {s.name: s for s in gateway_scenarios()}[name]
+    import tempfile
+    from pathlib import Path
+
+    with tempfile.TemporaryDirectory() as tmp:
+        return scenario.make_driver(QUICK, Path(tmp)).run()
+
+
+class TestGatewayScenarios:
+    @pytest.mark.parametrize(
+        "name", [s.name for s in gateway_scenarios()]
+    )
+    def test_scenario_passes_all_checks(self, name):
+        result = _run(name)
+        failed = [c for c in result.checks if not c["ok"]]
+        assert result.ok, f"{name}: {failed}"
+
+    def test_rate_flood_counts_rejections(self):
+        result = _run("gw_rate_flood")
+        assert result.protocol["gateway_rate_rejects"] > 0
+        assert result.protocol["rate_rejects"] > 0  # client saw them too
+
+    def test_window_stall_counts_backpressure(self):
+        result = _run("gw_window_stall")
+        assert result.protocol["window_stalls"] > 0
+
+    def test_overload_sheds_but_never_alerts(self):
+        result = _run("gw_overload_shed")
+        shed = result.protocol["shed_by_class"]
+        assert shed["alert"] == 0
+        assert shed["dashboard"] + shed["telemetry"] > 0
+        assert result.protocol["shed_records"] == (
+            shed["dashboard"] + shed["telemetry"]
+        )
+
+    def test_auth_reject_isolates_the_bad_vehicle(self):
+        result = _run("gw_auth_reject")
+        assert result.protocol["auth_rejects"] > 0
+
+    def test_crash_midwindow_heals_through_rehandshake(self):
+        result = _run("gw_crash_midwindow")
+        assert result.protocol["hello_rejects"] > 0
+        assert result.protocol["hellos"] >= QUICK.vehicles + 1
+
+
+class TestChaosReport:
+    def _report(self, counters):
+        return {
+            "schema": "repro-chaos-report/1",
+            "scenarios": [{"name": "s", "ok": True, "protocol": counters}],
+        }
+
+    def test_known_counters_load_silently(self, recwarn):
+        report = load_report(self._report(
+            {"frames_sent": 3, "retransmits": 1, "shed_by_class": {}}
+        ))
+        assert report["scenarios"][0]["protocol"]["frames_sent"] == 3
+        assert not recwarn.list
+
+    def test_unknown_counters_warn_but_load(self):
+        with pytest.warns(UserWarning, match="flux_capacitors"):
+            report = load_report(self._report(
+                {"frames_sent": 3, "flux_capacitors": 88}
+            ))
+        assert report["scenarios"][0]["protocol"]["flux_capacitors"] == 88
+
+    def test_wrong_schema_is_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            load_report({"schema": "something-else/9", "scenarios": []})
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        result = _run("gw_window_stall")
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps({
+            "schema": "repro-chaos-report/1",
+            "scenarios": [result.to_json()],
+        }))
+        report = load_report(path)
+        counters = report["scenarios"][0]["protocol"]
+        assert set(counters) <= KNOWN_PROTOCOL_COUNTERS
+
+
+class TestSocketAdapter:
+    def test_tcp_round_trip_matches_in_process(self, tmp_path):
+        import socket
+
+        from repro.telemetry import ServiceConfig, TelemetryService
+        from repro.telemetry.gateway import FleetGateway, GatewayConfig
+        from repro.telemetry.gateway.socket_server import (
+            GatewaySocketServer,
+            recv_payload,
+            send_payload,
+        )
+        from repro.telemetry.uplink.transport import (
+            WELCOME_SCHEMA,
+            decode_envelope,
+            encode_hello,
+        )
+
+        gateway = FleetGateway(
+            TelemetryService(ServiceConfig()),
+            tmp_path / "fleet",
+            GatewayConfig(token="tcp-secret", fsync="never",
+                          checkpoint_every=None),
+        )
+        server = GatewaySocketServer(gateway, ("127.0.0.1", 0))
+        thread = server.serve_background()
+        try:
+            with socket.create_connection(server.server_address) as sock:
+                reader = sock.makefile("rb")
+                send_payload(sock, encode_hello("veh00", "tcp-secret", 0))
+                doc = decode_envelope(recv_payload(reader))
+                assert doc["schema"] == WELCOME_SCHEMA
+                assert doc["source"] == "veh00"
+                reader.close()
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=5)
+            gateway.ingestor.close()

@@ -15,8 +15,8 @@ README = Path(__file__).resolve().parent.parent / "README.md"
 class TestSubcommandHelp:
     def test_every_subcommand_has_a_description(self):
         assert set(SUBCOMMANDS) == set(EXPERIMENTS) | {
-            "adapt", "all", "bench", "chaos", "telemetry", "trace",
-            "warehouse"
+            "adapt", "all", "bench", "chaos", "gateway", "telemetry",
+            "trace", "warehouse"
         }
         for name, description in SUBCOMMANDS.items():
             assert description.strip(), name

@@ -72,6 +72,26 @@ class TestDedupWatermark:
         dedup.advance_to(2)
         assert dedup.watermark == 5
 
+    def test_advance_to_sweeps_through_settled_seqs_above(self):
+        # Regression: seqs settled out of order above a hole must fold
+        # into the watermark when advance_to jumps to the hole's edge,
+        # or a windowed client whose remaining records were all
+        # shed-announced (never re-offered) deadlocks forever.
+        dedup = DedupWatermark()
+        for seq in (28, 29, 30, 31):
+            dedup.admit(seq)
+        assert dedup.watermark == -1
+        dedup.advance_to(27)  # floor probe: seqs <= 27 will never come
+        assert dedup.watermark == 31
+        assert dedup.seen == set()
+
+    def test_from_json_normalizes_pre_sweep_state(self):
+        restored = DedupWatermark.from_json(
+            {"watermark": 27, "seen": [28, 29, 31]}
+        )
+        assert restored.watermark == 29
+        assert restored.seen == {31}
+
     def test_snapshot_round_trip(self):
         dedup = DedupWatermark()
         for seq in (0, 1, 5, 9):
