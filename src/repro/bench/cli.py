@@ -54,6 +54,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="single iteration, no warmup (CI smoke mode)",
     )
     parser.add_argument(
+        "--only",
+        action="append",
+        default=None,
+        metavar="BENCH",
+        help="run only the named benchmark(s); repeatable and "
+        "comma-separable.  Floor references are pulled in "
+        "automatically; --compare is restricted to the selected names",
+    )
+    parser.add_argument(
         "--out",
         type=Path,
         default=None,
@@ -106,10 +115,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    only: Optional[List[str]] = None
+    if args.only:
+        only = [
+            name for entry in args.only for name in entry.split(",") if name
+        ]
+
     suites = sorted(SUITES) if args.suite == "all" else [args.suite]
+    if only is not None:
+        # Restrict to suites that contain at least one selected bench;
+        # run_suite validates the names within each suite it runs.
+        known = {
+            name for entries in SUITES.values() for name, _, _, _ in entries
+        }
+        unknown = sorted(set(only) - known)
+        if unknown:
+            print(f"unknown benchmark(s): {unknown}")
+            return 2
+        suites = [
+            suite for suite in suites
+            if any(name for name, _, _, _ in SUITES[suite] if name in only)
+        ]
     failed = False
     for suite in suites:
-        results = run_suite(suite, quick=args.quick)
+        suite_only = None
+        if only is not None:
+            suite_only = [
+                name for name, _, _, _ in SUITES[suite] if name in only
+            ]
+        results = run_suite(suite, quick=args.quick, only=suite_only)
         print(f"==> {suite}")
         print(render_suite(results))
         floor_report = check_throughput_floors(suite_to_json(suite, results))
@@ -117,6 +151,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(floor_report.render())
             failed = failed or not floor_report.passed
         if args.out is not None:
+            if only is not None:
+                print("--only with --out would write a partial baseline; "
+                      "refusing")
+                return 2
             args.out.mkdir(parents=True, exist_ok=True)
             path = write_suite(args.out / bench_file_name(suite), suite, results)
             print(f"wrote {path}")
@@ -130,6 +168,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"cannot load baseline {baseline_path}: {exc}")
                 failed = True
                 continue
+            if only is not None:
+                # A filtered run must not fail on baseline benches it
+                # never executed.
+                ran = {r.name for r in results}
+                baseline = dict(baseline)
+                baseline["benchmarks"] = {
+                    name: entry
+                    for name, entry in baseline["benchmarks"].items()
+                    if name in ran
+                }
             report = compare_suites(
                 suite_to_json(suite, results), baseline, threshold=args.threshold
             )

@@ -34,6 +34,14 @@ DEFAULT_THRESHOLD = 0.30
 #: same host in the same invocation.
 THROUGHPUT_FLOORS: Dict[str, tuple] = {
     "uplink_roundtrip_windowed": ("uplink_roundtrip", 2.0),
+    # Calendar-queue engine vs the old lazy-cancel heap on identical
+    # rearm/cancel-storm workloads (the ``*_heap`` twins pin the
+    # reference engine in-process).
+    "timer_rearm": ("timer_rearm_heap", 2.0),
+    "kernel_cancel_sweep": ("kernel_cancel_sweep_heap", 2.0),
+    # Batched SoA ingest vs the per-record scalar telemetry path on the
+    # same pre-materialized fleet stream.
+    "ingest_batched": ("telemetry_ingest", 2.0),
 }
 
 

@@ -18,11 +18,11 @@ attributable to code changes, not workload drift.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.bench.harness import BenchResult, run_bench
+from repro.bench.harness import THROUGHPUT_FLOORS, BenchResult, run_bench
 
 #: name -> (factory kwargs) registries, filled below.
 KERNEL_SUITE = "kernel"
@@ -44,15 +44,37 @@ def bench_kernel_dispatch() -> int:
 
 
 def bench_kernel_cancel_sweep() -> int:
-    """Half the queue cancelled before running (lazy-deletion path)."""
+    """Mode-change storm: repeated mass cancel + rearm sweeps.
+
+    Each sweep cancels a quarter of the armed events outright and
+    rearms the survivors at a later deadline -- the pattern a
+    NORMAL->DEGRADED transition produces when deadline monitors are
+    torn down and re-armed en masse.  The heap engine pays a lazy
+    O(log n) pop for every dead entry plus a fresh handle per rearm;
+    the calendar queue retires dead entries in bulk compactions and
+    rearms in place.  Units are queue operations (schedule, cancel,
+    rearm, fire).
+    """
     from repro.sim import Simulator
 
     sim = Simulator()
     callback = (lambda: None)
-    events = [sim.schedule_at(i, callback) for i in range(5000)]
-    for event in events[::2]:
-        event.cancel()
-    return sim.run() + len(events) // 2
+    n = 4000
+    sweeps = 8
+    horizon = 5_000_000
+    events = [sim.schedule_at(horizon + i, callback) for i in range(n)]
+    ops = n
+    for sweep in range(2, sweeps + 2):
+        base = horizon * sweep
+        survivors = []
+        for j, event in enumerate(events):
+            if j % 4 == 0:
+                event.cancel()
+            else:
+                survivors.append(sim.reschedule(event, base + j))
+        ops += len(events)
+        events = survivors
+    return ops + sim.run()
 
 
 def bench_timer_rearm() -> int:
@@ -280,26 +302,72 @@ def bench_fault_scenario() -> int:
     return frames
 
 
+#: Lazily-built fleet stream shared by the telemetry ingest bench pair.
+#: Generation happens once, *outside* any timed iteration, so the
+#: measured work is the service's (queue, store, alert engine) and the
+#: floor ratio compares engines rather than a common generator cost.
+_FLEET_STREAM = None
+
+
+def _fleet_stream():
+    global _FLEET_STREAM
+    if _FLEET_STREAM is None:
+        from repro.telemetry import FleetConfig, FleetLoadGenerator
+
+        from repro.telemetry.batch import RecordBatch
+
+        generator = FleetLoadGenerator(FleetConfig(vehicles=4, frames=120))
+        records = generator.materialize()
+        _FLEET_STREAM = (
+            generator.config.store_config(),
+            records,
+            RecordBatch.from_records(records),
+        )
+    return _FLEET_STREAM
+
+
 def bench_telemetry_ingest() -> int:
-    """Fleet record stream through the full ingest -> alert path.
+    """Fleet record stream through the per-record ingest -> alert path.
 
-    The stream is pre-materialized so the measured work is the
-    service's (queue, store, alert engine), not the generator's.
+    The stream is pre-materialized (see ``_fleet_stream``) so the
+    measured work is the service's, not the generator's.  The scalar
+    engine is pinned explicitly: this bench is the reference side of
+    the ``ingest_batched`` throughput floor.
     """
-    from repro.telemetry import (
-        FleetConfig,
-        FleetLoadGenerator,
-        ServiceConfig,
-        TelemetryService,
-    )
+    from repro.telemetry import ServiceConfig, TelemetryService
 
-    generator = FleetLoadGenerator(FleetConfig(vehicles=4, frames=120))
-    records = generator.materialize()
-    service = TelemetryService(ServiceConfig(store=generator.config.store_config()))
+    store_config, records, _ = _fleet_stream()
+    service = TelemetryService(ServiceConfig(
+        store=store_config, engine="scalar",
+    ))
     service.ingest_many(records)
     service.drain()
     assert service.accounting_ok(), "telemetry accounting violated"
     return len(records)
+
+
+def bench_telemetry_ingest_batched() -> int:
+    """The same fleet stream through the columnar batched ingest path.
+
+    Identical records, store config, and alert policy as
+    ``telemetry_ingest`` -- the only difference is the engine: one
+    struct-of-arrays :class:`~repro.telemetry.batch.RecordBatch`
+    through :meth:`~repro.telemetry.service.TelemetryService.ingest_batch`
+    and the store's grouped/vectorized ``apply_batch``.  The floor gate
+    holds this at >= 2x the scalar reference's throughput; the
+    differential suite separately proves both engines produce
+    byte-identical store digests and alert logs.
+    """
+    from repro.telemetry import ServiceConfig, TelemetryService
+
+    store_config, _records, batch = _fleet_stream()
+    service = TelemetryService(ServiceConfig(
+        store=store_config, engine="batched",
+    ))
+    service.ingest_batch(batch)
+    service.drain()
+    assert service.accounting_ok(), "telemetry accounting violated"
+    return len(batch)
 
 
 #: Wall-clock cost (seconds) of one simulated channel step in the
@@ -570,14 +638,45 @@ def bench_warehouse_query() -> int:
     return rows
 
 
+def _engine_pinned(engine: str, fn: Callable[[], int]) -> Callable[[], int]:
+    """Run a bench body with the sim engine forced to *engine*.
+
+    The ``*_heap`` reference twins are the same workload pinned to the
+    old lazy-cancel heap, so the ``timer_rearm`` / ``kernel_cancel_sweep``
+    throughput floors compare the two queue engines on identical work
+    in the same process (shared-runner noise cancels instead of
+    biasing one side).
+    """
+    import functools
+    import os
+
+    @functools.wraps(fn)
+    def wrapper() -> int:
+        previous = os.environ.get("REPRO_SIM_ENGINE")
+        os.environ["REPRO_SIM_ENGINE"] = engine
+        try:
+            return fn()
+        finally:
+            if previous is None:
+                os.environ.pop("REPRO_SIM_ENGINE", None)
+            else:
+                os.environ["REPRO_SIM_ENGINE"] = previous
+
+    return wrapper
+
+
 #: suite name -> ordered list of (bench name, layer, unit, fn).
 SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
     KERNEL_SUITE: [
         ("kernel_dispatch", "kernel", "events", bench_kernel_dispatch),
         ("kernel_cancel_sweep", "kernel", "events", bench_kernel_cancel_sweep),
+        ("kernel_cancel_sweep_heap", "kernel", "events",
+         _engine_pinned("heap", bench_kernel_cancel_sweep)),
         ("tracing_spans_off", "tracing", "events", bench_tracing_spans_off),
         ("tracing_spans_on", "tracing", "events", bench_tracing_spans_on),
         ("timer_rearm", "kernel", "arms", bench_timer_rearm),
+        ("timer_rearm_heap", "kernel", "arms",
+         _engine_pinned("heap", bench_timer_rearm)),
         ("scheduler_pingpong", "scheduler", "switches", bench_scheduler_pingpong),
         ("scheduler_preempt", "scheduler", "periods", bench_scheduler_preempt),
         ("dds_local_pubsub", "dds", "roundtrips", bench_dds_local_pubsub),
@@ -589,6 +688,8 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
         ("budgeting_solve", "budgeting", "solves", bench_budgeting_solve),
         ("fault_scenario", "faults", "frames", bench_fault_scenario),
         ("telemetry_ingest", "telemetry", "records", bench_telemetry_ingest),
+        ("ingest_batched", "telemetry", "records",
+         bench_telemetry_ingest_batched),
         ("uplink_roundtrip", "telemetry", "records", bench_uplink_roundtrip),
         ("uplink_roundtrip_windowed", "telemetry", "records",
          bench_uplink_roundtrip_windowed),
@@ -599,14 +700,41 @@ SUITES: Dict[str, List[Tuple[str, str, str, Callable[[], int]]]] = {
 }
 
 
-def run_suite(suite: str, quick: bool = False) -> List[BenchResult]:
-    """Run every benchmark of *suite*; quick mode = 1 iteration, no warmup."""
+def run_suite(
+    suite: str,
+    quick: bool = False,
+    only: Optional[List[str]] = None,
+) -> List[BenchResult]:
+    """Run every benchmark of *suite*; quick mode = 1 iteration, no warmup.
+
+    *only* restricts the run to the named benchmarks, expanded to keep
+    floor gates meaningful: selecting a bench that has a throughput
+    floor pulls in its reference bench automatically (a ratio needs
+    both sides), so ``--only ingest_batched`` still checks the >= 2x
+    gate instead of silently failing on a missing reference.  Unknown
+    names raise rather than silently measuring nothing.
+    """
     if suite not in SUITES:
         raise ValueError(f"unknown suite {suite!r} (have {sorted(SUITES)})")
+    entries = SUITES[suite]
+    if only is not None:
+        available = {name for name, _, _, _ in entries}
+        unknown = sorted(set(only) - available)
+        if unknown:
+            raise ValueError(
+                f"unknown benchmark(s) {unknown} in suite {suite!r} "
+                f"(have {sorted(available)})"
+            )
+        wanted = set(only)
+        for name in only:
+            floor = THROUGHPUT_FLOORS.get(name)
+            if floor is not None and floor[0] in available:
+                wanted.add(floor[0])
+        entries = [e for e in entries if e[0] in wanted]
     iterations = 1 if quick else 7
     warmup = 0 if quick else 1
     results = []
-    for name, layer, unit, fn in SUITES[suite]:
+    for name, layer, unit, fn in entries:
         results.append(
             run_bench(
                 name, fn, layer=layer, unit=unit,

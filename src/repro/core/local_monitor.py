@@ -23,8 +23,6 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
-import heapq
-
 from repro.core.chain_runtime import ChainRuntime, Outcome
 from repro.core.exceptions import (
     ExceptionContext,
@@ -39,6 +37,7 @@ from repro.core.weakly_hard import MissWindow, MKConstraint
 from repro.dds.reader import DataReader
 from repro.dds.topic import Sample, Topic
 from repro.dds.writer import DataWriter
+from repro.sim.calendar import CalendarQueue, CancelToken, EagerHeapQueue
 from repro.sim.cpu import Ecu
 from repro.sim.kernel import usec
 from repro.sim.sync import Semaphore
@@ -96,6 +95,10 @@ class _Pending:
     start_ts: int
     deadline: int
     data: Any = None
+    #: Handle of this activation's entry in the monitor's timeout queue;
+    #: cancelled eagerly when the activation completes (or is replaced),
+    #: so stale entries no longer linger until their deadline surfaces.
+    token: Optional[CancelToken] = None
 
 
 ActivationFn = Callable[[Sample], Optional[int]]
@@ -338,6 +341,9 @@ class LocalSegmentRuntime:
         monitor = self._require_monitor()
         assert self.segment.d_mon is not None
         deadline = ts + self.segment.d_mon
+        old = self.pending.get(n)
+        if old is not None and old.token is not None:
+            old.token.cancel()
         self.pending[n] = _Pending(start_ts=ts, deadline=deadline, data=data)
         monitor._push_timeout(deadline, self, n)
         self.monitor_latency_samples.append(monitor.ecu.now() - ts)
@@ -347,6 +353,8 @@ class LocalSegmentRuntime:
         if entry is None:
             self.stale_end_events += 1
             return
+        if entry.token is not None:
+            entry.token.cancel()
         if self._span_ctx:
             self._span_ctx.pop(n, None)
         latency = end_ts - entry.start_ts
@@ -369,6 +377,8 @@ class LocalSegmentRuntime:
         """Run Algorithm 2 for activation *n*; True if recovered."""
         monitor = self._require_monitor()
         entry = self.pending.pop(n)
+        if entry.token is not None:
+            entry.token.cancel()
         exception = TemporalException(
             segment=self.segment,
             activation=n,
@@ -497,8 +507,15 @@ class MonitorThread:
         self.costs = costs or MonitorCosts()
         self.sem = Semaphore(self.sim, name=f"{ecu.name}.{name}.sem")
         self.segments: List[LocalSegmentRuntime] = []
-        self._timeout_heap: List[Tuple[int, int, LocalSegmentRuntime, int]] = []
-        self._heap_seq = 0
+        # Timeout queue: same engine family as the hosting kernel so the
+        # differential suite exercises both.  Either way cancelled
+        # entries are compacted eagerly instead of leaking until their
+        # deadline would have surfaced at the heap root.
+        if getattr(self.sim, "engine", "heap") == "calendar":
+            self._timeout_queue: Any = CalendarQueue()
+        else:
+            self._timeout_queue = EagerHeapQueue()
+        self._timeout_seq = 0
         self._remote_queue: Deque[Callable[[], None]] = deque()
         self.wakeups = 0
         self.exceptions_raised = 0
@@ -523,18 +540,17 @@ class MonitorThread:
     def _push_timeout(
         self, deadline: int, runtime: LocalSegmentRuntime, n: int
     ) -> None:
-        heapq.heappush(
-            self._timeout_heap, (deadline, self._heap_seq, runtime, n)
-        )
-        self._heap_seq += 1
+        token = CancelToken((runtime, n))
+        entry = runtime.pending.get(n)
+        if entry is not None:
+            entry.token = token
+        seq = self._timeout_seq
+        self._timeout_seq = seq + 1
+        self._timeout_queue.push(deadline, 0, seq, token)
 
     def _next_expiry(self) -> Optional[int]:
-        while self._timeout_heap:
-            deadline, _seq, runtime, n = self._timeout_heap[0]
-            if n in runtime.pending and runtime.pending[n].deadline == deadline:
-                return deadline
-            heapq.heappop(self._timeout_heap)  # stale entry
-        return None
+        entry = self._timeout_queue.peek()
+        return None if entry is None else entry[0]
 
     # ------------------------------------------------------------------
     def _body(self, _thread):
@@ -567,7 +583,9 @@ class MonitorThread:
                 expiry = self._next_expiry()
                 if expiry is None or expiry > self.ecu.now():
                     break
-                deadline, _seq, runtime, n = heapq.heappop(self._timeout_heap)
+                popped = self._timeout_queue.pop()
+                assert popped is not None  # peek just saw a live entry
+                runtime, n = popped[3].data
                 # Last-moment check: the end event may have been posted
                 # while we were processing other segments.
                 for end_n, end_ts in runtime.end_buffer.drain():

@@ -23,6 +23,7 @@ accumulation errors; use the helpers :func:`usec`, :func:`msec` and
 :func:`sec` to build durations.
 """
 
+from repro.sim.calendar import CalendarQueue, CancelToken, EagerHeapQueue
 from repro.sim.kernel import (
     Simulator,
     ScheduledEvent,
@@ -62,6 +63,9 @@ from repro.sim.workload import (
 __all__ = [
     "Simulator",
     "ScheduledEvent",
+    "CalendarQueue",
+    "EagerHeapQueue",
+    "CancelToken",
     "nsec",
     "usec",
     "msec",

@@ -16,12 +16,26 @@ Performance notes
 -----------------
 This module is the hottest path of the repository: every simulated
 microsecond of every experiment flows through :meth:`Simulator.run`.
-Heap entries are therefore plain ``(time, priority, seq, event)`` tuples
+Queue entries are therefore plain ``(time, priority, seq, event)`` tuples
 (tuple comparison is C-level and the unique ``seq`` guarantees the event
-object itself is never compared), the heap primitives are pre-bound, and
+object itself is never compared), the queue primitives are pre-bound, and
 trace emission is skipped entirely while no hook is registered.  None of
 this changes observable behavior: the golden-trace suite
 (``tests/test_golden_traces.py``) pins the event order bit-for-bit.
+
+Two queue engines are available behind the ``engine`` constructor
+argument (default from ``REPRO_SIM_ENGINE``):
+
+``calendar`` (default)
+    A bucketed calendar queue (:mod:`repro.sim.calendar`): O(1)
+    amortized insert, one sort per time bucket, and eager reclamation
+    of cancelled entries.  This is what makes rearm/cancel-heavy timer
+    workloads cheap.
+``heap``
+    The original binary heap with lazy cancellation, kept verbatim as
+    the differential reference: ``tests/test_differential_engines.py``
+    replays whole scenario suites under both engines and asserts
+    byte-identical golden fingerprints and digests.
 """
 
 from __future__ import annotations
@@ -29,10 +43,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import math
+import os
 import zlib
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 import numpy as np
+
+from .calendar import CalendarQueue
 
 #: Number of nanoseconds per microsecond / millisecond / second.
 NS_PER_US = 1_000
@@ -92,7 +109,9 @@ class ScheduledEvent:
     skips cancelled entries when they surface at the head of the heap.
     """
 
-    __slots__ = ("callback", "args", "time", "cancelled", "label", "ctx")
+    __slots__ = (
+        "callback", "args", "time", "cancelled", "label", "ctx", "_cq", "_seq"
+    )
 
     def __init__(
         self,
@@ -109,10 +128,25 @@ class ScheduledEvent:
         #: Span context captured at schedule time (span tracing only;
         #: stays None while ``sim.spans`` is unset).
         self.ctx = None
+        #: Back-reference to the calendar queue while the event is
+        #: resident there (None under the heap engine and after pop),
+        #: so cancellation can be accounted eagerly.
+        self._cq = None
+        #: Generation stamp: the calendar entry ``(time, prio, seq, ev)``
+        #: is live iff ``seq == self._seq``.  Cancel and reschedule
+        #: retire the resident entry by changing this.
+        self._seq = -1
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        cq = self._cq
+        if cq is not None:
+            self._cq = None
+            self._seq = -1
+            cq.note_cancel()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -135,6 +169,12 @@ class Simulator:
     ----------
     seed:
         Master seed for all named random streams.
+    engine:
+        Event-queue implementation: ``"calendar"`` (bucketed calendar
+        queue, the default) or ``"heap"`` (the original lazy-cancel
+        binary heap, kept as the differential reference).  ``None``
+        reads ``REPRO_SIM_ENGINE``.  Both engines pop in identical
+        ``(time, priority, seq)`` order, so traces are bit-identical.
 
     Examples
     --------
@@ -147,10 +187,18 @@ class Simulator:
     (5000000, ['hello'])
     """
 
-    def __init__(self, seed: int = 0) -> None:
+    def __init__(self, seed: int = 0, engine: Optional[str] = None) -> None:
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE", "calendar")
+        if engine not in ("calendar", "heap"):
+            raise ValueError(f"unknown sim engine {engine!r}")
+        self.engine = engine
         self.seed = seed
         self.now: int = 0
         self._heap: List[_HeapEntry] = []
+        self._cal: Optional[CalendarQueue] = (
+            CalendarQueue() if engine == "calendar" else None
+        )
         self._next_seq = itertools.count().__next__
         self._entity_ids: Dict[str, int] = {}
         self._rngs: Dict[str, np.random.Generator] = {}
@@ -217,7 +265,27 @@ class Simulator:
         event = ScheduledEvent(callback, args, time, label=label)
         if self.spans is not None:
             event.ctx = self.spans.current
-        heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
+        else:
+            # CalendarQueue.push, inlined: this is the hottest call site
+            # in the repository and the call overhead is measurable.
+            seq = self._next_seq()
+            event._cq = cal
+            event._seq = seq
+            key = time >> cal._shift
+            entry = (time, priority, seq, event)
+            if key <= cal._act_key:
+                heapq.heappush(cal._extra, entry)
+            else:
+                pend = cal._pend
+                lst = pend.get(key)
+                if lst is None:
+                    pend[key] = [entry]
+                    heapq.heappush(cal._keys, key)
+                else:
+                    lst.append(entry)
         return event
 
     def schedule_after(
@@ -235,7 +303,26 @@ class Simulator:
         event = ScheduledEvent(callback, args, time, label=label)
         if self.spans is not None:
             event.ctx = self.spans.current
-        heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._heap, (time, priority, self._next_seq(), event))
+        else:
+            # CalendarQueue.push, inlined (see schedule_at).
+            seq = self._next_seq()
+            event._cq = cal
+            event._seq = seq
+            key = time >> cal._shift
+            entry = (time, priority, seq, event)
+            if key <= cal._act_key:
+                heapq.heappush(cal._extra, entry)
+            else:
+                pend = cal._pend
+                lst = pend.get(key)
+                if lst is None:
+                    pend[key] = [entry]
+                    heapq.heappush(cal._keys, key)
+                else:
+                    lst.append(entry)
         return event
 
     def call_now(
@@ -245,7 +332,71 @@ class Simulator:
         event = ScheduledEvent(callback, args, self.now, label=label)
         if self.spans is not None:
             event.ctx = self.spans.current
-        heapq.heappush(self._heap, (self.now, 0, self._next_seq(), event))
+        cal = self._cal
+        if cal is None:
+            heapq.heappush(self._heap, (self.now, 0, self._next_seq(), event))
+        else:
+            cal.push(self.now, 0, self._next_seq(), event)
+        return event
+
+    def reschedule(
+        self, event: ScheduledEvent, time: int, priority: int = 0
+    ) -> ScheduledEvent:
+        """Re-arm an event handle at a new absolute *time*.
+
+        This is the deadline-QoS rearm primitive: timers that cancel
+        and immediately re-schedule on every sample should use it
+        instead of ``cancel()`` + ``schedule_at()``.  Returns the
+        handle to keep -- under the calendar engine the *same* handle
+        is reused (the stale queue entry is retired by generation
+        stamp, O(1) amortized, no allocation); under the heap engine it
+        falls back to lazy-cancel + fresh handle, which is exactly what
+        the old rearm pattern did.  Both consume one sequence number,
+        so event ordering stays bit-identical across engines.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule event at {fmt_time(time)}, "
+                f"now is {fmt_time(self.now)}"
+            )
+        cal = self._cal
+        if cal is None:
+            event.cancel()
+            fresh = ScheduledEvent(
+                event.callback, event.args, time, label=event.label
+            )
+            if self.spans is not None:
+                fresh.ctx = self.spans.current
+            heapq.heappush(
+                self._heap, (time, priority, self._next_seq(), fresh)
+            )
+            return fresh
+        if event._cq is not None:
+            # A live entry is resident: retire it (the new generation
+            # stamp set by push makes it stale) and account it dead.
+            event._cq = None
+            event._seq = -1
+            cal.note_cancel()
+        event.cancelled = False
+        event.time = time
+        if self.spans is not None:
+            event.ctx = self.spans.current
+        # CalendarQueue.push, inlined (see schedule_at).
+        seq = self._next_seq()
+        event._cq = cal
+        event._seq = seq
+        key = time >> cal._shift
+        entry = (time, priority, seq, event)
+        if key <= cal._act_key:
+            heapq.heappush(cal._extra, entry)
+        else:
+            pend = cal._pend
+            lst = pend.get(key)
+            if lst is None:
+                pend[key] = [entry]
+                heapq.heappush(cal._keys, key)
+            else:
+                lst.append(entry)
         return event
 
     # ------------------------------------------------------------------
@@ -253,6 +404,18 @@ class Simulator:
     # ------------------------------------------------------------------
     def step(self) -> bool:
         """Fire the next pending event.  Return False when queue is empty."""
+        cal = self._cal
+        if cal is not None:
+            entry = cal.pop()
+            if entry is None:
+                return False
+            self.now = entry[0]
+            event = entry[3]
+            spans = self.spans
+            if spans is not None:
+                spans.current = event.ctx
+            event.callback(*event.args)
+            return True
         heap = self._heap
         heappop = heapq.heappop
         while heap:
@@ -286,6 +449,9 @@ class Simulator:
             The number of events that fired.
         """
         count = 0
+        cal = self._cal
+        if cal is not None:
+            return self._run_calendar(until, max_events)
         heap = self._heap
         heappop = heapq.heappop
         if until is None and max_events is None:
@@ -336,9 +502,91 @@ class Simulator:
             spans.current = None
         return count
 
+    def _run_calendar(
+        self, until: Optional[int], max_events: Optional[int]
+    ) -> int:
+        """Drain loop for the calendar engine (same contract as run())."""
+        count = 0
+        cal = self._cal
+        pop = cal.pop
+        if until is None and max_events is None:
+            if self.spans is None:
+                # Fast path: the overwhelmingly common full-drain loop.
+                # While the overflow heap is empty, walk the active
+                # sorted run directly instead of paying a pop() call
+                # per event.  Callbacks can schedule (possibly into the
+                # overflow heap), cancel, or trigger a compaction that
+                # rebuilds the run, so the loop re-reads the queue
+                # state after every fired event and falls back to
+                # pop() whenever a merge with the overflow is needed.
+                while True:
+                    act = cal._act_sorted
+                    i = cal._act_idx
+                    if i < len(act) and not cal._extra:
+                        n = len(act)
+                        while i < n:
+                            entry = act[i]
+                            i += 1
+                            cal._act_idx = i
+                            event = entry[3]
+                            if event._seq != entry[2]:
+                                cal._dead -= 1
+                            else:
+                                event._cq = None
+                                self.now = entry[0]
+                                event.callback(*event.args)
+                                count += 1
+                                if cal._extra:
+                                    break
+                                act = cal._act_sorted
+                                n = len(act)
+                                i = cal._act_idx
+                        continue
+                    entry = pop()
+                    if entry is None:
+                        return count
+                    self.now = entry[0]
+                    event = entry[3]
+                    event.callback(*event.args)
+                    count += 1
+            spans = self.spans
+            while True:
+                entry = pop()
+                if entry is None:
+                    break
+                self.now = entry[0]
+                event = entry[3]
+                spans.current = event.ctx
+                event.callback(*event.args)
+                count += 1
+            spans.current = None
+            return count
+        while True:
+            entry = pop(until)
+            if entry is None:
+                break
+            self.now = entry[0]
+            event = entry[3]
+            spans = self.spans
+            if spans is not None:
+                spans.current = event.ctx
+            event.callback(*event.args)
+            count += 1
+            if max_events is not None and count >= max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        if until is not None and self.now < until:
+            self.now = until
+        spans = self.spans
+        if spans is not None:
+            spans.current = None
+        return count
+
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events in the queue."""
+        cal = self._cal
+        if cal is not None:
+            return cal.live
         return sum(1 for entry in self._heap if not entry[3].cancelled)
 
     # ------------------------------------------------------------------

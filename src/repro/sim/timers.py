@@ -48,8 +48,15 @@ class Timer:
 
     def start_at(self, time: int) -> None:
         """Arm the timer to fire at absolute *time* (re-arms if pending)."""
-        self.cancel()
-        self._event = self.sim.schedule_at(time, self._fire, label=self._label)
+        event = self._event
+        if event is None:
+            self._event = self.sim.schedule_at(
+                time, self._fire, label=self._label
+            )
+        else:
+            # Rearm through the kernel primitive: under the calendar
+            # engine this reuses the handle with no allocation.
+            self._event = self.sim.reschedule(event, time)
 
     def cancel(self) -> None:
         """Disarm the timer if pending."""
@@ -125,7 +132,14 @@ class PeriodicTimer:
             rng = self.sim.rng(self._rng_stream)
             when = nominal + int(rng.integers(0, self.jitter_ns + 1))
         when = max(when, self.sim.now)
-        self._event = self.sim.schedule_at(when, self._fire, label=self._label)
+        event = self._event
+        if event is None:
+            self._event = self.sim.schedule_at(
+                when, self._fire, label=self._label
+            )
+        else:
+            # The previous expiry just fired; reuse its handle.
+            self._event = self.sim.reschedule(event, when)
 
     def _fire(self) -> None:
         index = self._index

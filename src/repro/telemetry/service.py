@@ -18,13 +18,21 @@ i.e. **no silent drops** -- see :meth:`accounting_ok`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Iterable, List, Optional, Union
 
 from repro.telemetry.alerts import AlertEngine, AlertLog, AlertPolicy
+from repro.telemetry.batch import RecordBatch
 from repro.telemetry.pipeline import DEFAULT_CAPACITY, IngestQueue
 from repro.telemetry.records import TelemetryRecord
 from repro.telemetry.store import ChainStateStore, StoreConfig
+
+#: Environment override for :attr:`ServiceConfig.engine`.
+ENGINE_ENV = "REPRO_TELEMETRY_ENGINE"
+
+#: Recognized ingest engines.
+ENGINES = ("batched", "scalar")
 
 
 @dataclass
@@ -37,12 +45,25 @@ class ServiceConfig:
     #: Pump automatically whenever the queue holds this many records
     #: (None: only explicit pump() calls drain the queue).
     auto_pump_batch: Optional[int] = 4096
+    #: Ingest engine: "batched" drains through the columnar
+    #: :meth:`~repro.telemetry.store.ChainStateStore.apply_batch` hot
+    #: path, "scalar" through the per-record reference ``apply``.  None
+    #: resolves from the ``REPRO_TELEMETRY_ENGINE`` environment
+    #: variable, defaulting to "batched".  Both engines produce
+    #: byte-identical store snapshots and alert logs (the differential
+    #: suite's headline claim).
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
             raise ValueError("queue_capacity must be >= 1")
         if self.auto_pump_batch is not None and self.auto_pump_batch < 1:
             raise ValueError("auto_pump_batch must be >= 1 or None")
+        if self.engine is not None and self.engine not in ENGINES:
+            raise ValueError(
+                f"unknown telemetry engine {self.engine!r} "
+                f"(expected one of {ENGINES})"
+            )
 
 
 class TelemetryService:
@@ -50,6 +71,17 @@ class TelemetryService:
 
     def __init__(self, config: Optional[ServiceConfig] = None):
         self.config = config or ServiceConfig()
+        engine = self.config.engine
+        if engine is None:
+            engine = os.environ.get(ENGINE_ENV, "batched")
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown telemetry engine {engine!r} "
+                f"(expected one of {ENGINES})"
+            )
+        #: Which ingest engine pump() routes through (fixed at
+        #: construction; ``self.engine`` is the *alert* engine).
+        self.ingest_engine = engine
         self.queue = IngestQueue(self.config.queue_capacity)
         self.store = ChainStateStore(self.config.store)
         self.engine = AlertEngine(self.config.alerts)
@@ -83,20 +115,83 @@ class TelemetryService:
                 accepted += 1
         return accepted
 
+    def ingest_batch(
+        self, records: Union[RecordBatch, List[TelemetryRecord]]
+    ) -> int:
+        """Offer a whole batch at once; returns how many were accepted.
+
+        The bulk analogue of :meth:`ingest_many` with identical
+        conservation accounting (offered == applied + dropped +
+        pending always holds).  A list is bulk-offered to the queue and
+        drained by the next pump; a :class:`RecordBatch` stays columnar
+        end to end -- it is applied synchronously after flushing any
+        queued records (so record order is preserved), with the
+        bounded-queue capacity still governing acceptance.  Chunking
+        differs from per-record :meth:`ingest` (which pumps mid-stream
+        at ``auto_pump_batch``), but the applied record stream, and
+        hence store state and alert log, are identical whenever the
+        queue never saturates.
+        """
+        if isinstance(records, RecordBatch):
+            queue = self.queue
+            if queue.depth:
+                self.pump()
+            n = len(records)
+            room = queue.capacity
+            accepted = n if n <= room else room
+            queue.offered += n
+            queue.accepted += accepted
+            if accepted < n:
+                queue.dropped_by_reason["queue_full"] = (
+                    queue.dropped_by_reason.get("queue_full", 0)
+                    + (n - accepted)
+                )
+                records = records.slice(accepted)
+            if accepted > queue.high_watermark:
+                queue.high_watermark = accepted
+            queue.drained += accepted
+            if accepted:
+                self._apply_columns(records)
+            return accepted
+        accepted = self.queue.offer_many(records)
+        batch = self.config.auto_pump_batch
+        if batch is not None and len(self.queue) >= batch:
+            self.pump()
+        return accepted
+
+    def _apply_columns(self, columns: RecordBatch) -> None:
+        """Apply a columnar batch and feed flagged facts to alerting."""
+        outcomes = self.store.apply_batch(columns)
+        watermark = max(columns.timestamps)
+        if watermark > self.watermark_ns:
+            self.watermark_ns = watermark
+        observe = self.engine.observe
+        for outcome in outcomes:
+            observe(outcome)
+        self.applied_here += len(columns)
+
     def pump(self, max_records: Optional[int] = None) -> int:
-        """Drain up to *max_records* into the store; returns the count."""
+        """Drain up to *max_records* into the store; returns the count.
+
+        Routes through the configured ingest engine; both engines leave
+        the store, watermark, and alert log byte-identical.
+        """
         batch = self.queue.drain(max_records)
         if not batch:
             return 0
-        store = self.store
-        observe = self.engine.observe
-        watermark = self.watermark_ns
-        for record in batch:
-            outcome = store.apply(record)
-            if record.timestamp_ns > watermark:
-                watermark = record.timestamp_ns
-            observe(outcome)
-        self.watermark_ns = watermark
+        if self.ingest_engine == "batched":
+            self._apply_columns(RecordBatch.from_records(batch))
+            return len(batch)
+        else:
+            store = self.store
+            observe = self.engine.observe
+            watermark = self.watermark_ns
+            for record in batch:
+                outcome = store.apply(record)
+                if record.timestamp_ns > watermark:
+                    watermark = record.timestamp_ns
+                observe(outcome)
+            self.watermark_ns = watermark
         self.applied_here += len(batch)
         return len(batch)
 

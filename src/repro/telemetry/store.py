@@ -38,6 +38,7 @@ from typing import Dict, List, Optional, Tuple, Union
 
 from repro.core.weakly_hard import MKConstraint
 from repro.telemetry.automata import MKAutomaton
+from repro.telemetry.batch import RecordBatch
 from repro.telemetry.histogram import DEFAULT_ALPHA, StreamingHistogram
 from repro.telemetry.records import (
     RecordKind,
@@ -470,6 +471,223 @@ class ChainStateStore:
             source.level = record.level
         # EXCEPTION / HEARTBEAT only refresh the source state above.
         return outcome
+
+    # ------------------------------------------------------------------
+    def apply_batch(self, batch: RecordBatch) -> List[ApplyOutcome]:
+        """Fold a columnar batch into the store; return *flagged* outcomes.
+
+        State-for-state equivalent to calling :meth:`apply` on every
+        row in order (``tests/test_batched_store.py`` and the
+        differential suite prove byte-identical snapshots), but records
+        are grouped by key so per-record constants are paid per group:
+
+        1. one in-order pass runs the per-source sequence/liveness
+           logic (inherently serial) and buckets chain/segment work;
+        2. CHAIN groups run through the vectorized
+           :meth:`~repro.telemetry.automata.MKAutomaton.record_many`;
+        3. SEGMENT groups update verdict counters, windows, and
+           histograms with column locals bound once per group.
+
+        Only records whose facts the alert engine acts on (sequence
+        gap, (m,k) violation, margin exhausted, latency-window streak)
+        materialize an :class:`ApplyOutcome`; they are returned in
+        record order, so feeding them to
+        :meth:`~repro.telemetry.alerts.AlertEngine.observe` yields a
+        byte-identical alert log -- ``observe`` is a no-op for every
+        unflagged record.
+        """
+        n = len(batch)
+        if n == 0:
+            return []
+        config = self.config
+        self.applied += n
+        kinds = batch.kinds
+        sources_col = batch.sources
+        chains_col = batch.chains
+        segments_col = batch.segments
+        activations = batch.activations
+        latencies = batch.latencies
+        verdicts = batch.verdicts
+        levels = batch.levels
+        timestamps = batch.timestamps
+        seqs = batch.seqs
+
+        flagged: Dict[int, ApplyOutcome] = {}
+
+        def outcome_at(i: int) -> ApplyOutcome:
+            out = flagged.get(i)
+            if out is None:
+                out = ApplyOutcome(batch.record(i))
+                flagged[i] = out
+            return out
+
+        # Pass 1: per-source state strictly in record order, grouping
+        # chain/segment work by key as we go.
+        SEGMENT = RecordKind.SEGMENT
+        CHAIN = RecordKind.CHAIN
+        MODE = RecordKind.MODE
+        sources = self.sources
+        chain_groups: Dict[Tuple[str, str], List[int]] = {}
+        seg_groups: Dict[Tuple[str, str, str], List[int]] = {}
+        #: (source, chain) -> [record count, max activation] this batch.
+        key_touch: Dict[Tuple[str, str], List[int]] = {}
+        dup_indices: List[int] = []
+        src_name: Optional[str] = None
+        src_state: Optional[SourceState] = None
+        for i in range(n):
+            name = sources_col[i]
+            if name != src_name:
+                src_name = name
+                src_state = sources.get(name)
+                if src_state is None:
+                    src_state = SourceState()
+                    sources[name] = src_state
+            src_state.records += 1
+            ts = timestamps[i]
+            if ts > src_state.last_seen_ns:
+                src_state.last_seen_ns = ts
+            src_state.gap_open = False
+            seq = seqs[i]
+            last = src_state.last_seq
+            if seq > last:
+                if seq > last + 1:
+                    gap = seq - last - 1
+                    src_state.seq_gaps += gap
+                    src_state.note_missing(last + 1, seq)
+                    outcome_at(i).seq_gap = gap
+                src_state.last_seq = seq
+            elif seq in src_state.missing:
+                src_state.missing.discard(seq)
+                src_state.seq_gaps -= 1
+                src_state.reorders += 1
+            else:
+                src_state.duplicates += 1
+                dup_indices.append(i)
+
+            kind = kinds[i]
+            if kind is SEGMENT:
+                chain = chains_col[i]
+                gkey = (name, chain, segments_col[i])
+                grp = seg_groups.get(gkey)
+                if grp is None:
+                    seg_groups[gkey] = [i]
+                else:
+                    grp.append(i)
+            elif kind is CHAIN:
+                chain = chains_col[i]
+                tkey = (name, chain)
+                grp = chain_groups.get(tkey)
+                if grp is None:
+                    chain_groups[tkey] = [i]
+                else:
+                    grp.append(i)
+            elif kind is MODE:
+                src_state.level = levels[i]
+                continue
+            else:
+                continue
+            t = key_touch.get((name, chain))
+            if t is None:
+                key_touch[(name, chain)] = [1, activations[i]]
+            else:
+                t[0] += 1
+                a = activations[i]
+                if a > t[1]:
+                    t[1] = a
+
+        # Pass 2a: per-key record counters (count and max commute).
+        chain_state = self.chain_state
+        for (source, chain), (count, max_act) in key_touch.items():
+            state = chain_state(source, chain)
+            state.records += count
+            if max_act > state.last_activation:
+                state.last_activation = max_act
+
+        # Pass 2b: (m,k) automata, one vectorized run per key.
+        for (source, chain), idxs in chain_groups.items():
+            state = chain_state(source, chain)
+            misses = [verdicts[i] == "miss" for i in idxs]
+            violated, margins = state.automaton.record_many(misses)
+            margin_exhausted = state.margin_exhausted
+            for j, i in enumerate(idxs):
+                margin = margins[j]
+                if violated[j]:
+                    out = outcome_at(i)
+                    out.mk_violation = True
+                    margin_exhausted = True
+                elif margin <= 0 and not margin_exhausted:
+                    margin_exhausted = True
+                    out = outcome_at(i)
+                    out.margin_exhausted_now = True
+                else:
+                    if margin > 0:
+                        margin_exhausted = False
+                    out = flagged.get(i)
+                if out is not None:
+                    out.margin = margin
+            state.margin_exhausted = margin_exhausted
+
+        # Pass 2c: per-segment verdicts, windows, histograms.
+        window_records_cfg = config.window_records
+        latency_windows_cfg = config.latency_windows
+        for (source, chain, segment), idxs in seg_groups.items():
+            state = chain_state(source, chain)
+            seg = state.segments.get(segment)
+            if seg is None:
+                seg = _SegmentState(
+                    alpha=config.alpha,
+                    budget_ns=config.budget_for(segment),
+                )
+                state.segments[segment] = seg
+            seg_verdicts = seg.verdicts
+            budget = seg.budget_ns
+            samples: List[int] = []
+            if budget is None:
+                for i in idxs:
+                    verdict = verdicts[i]
+                    seg_verdicts[verdict] = seg_verdicts.get(verdict, 0) + 1
+                    latency = latencies[i]
+                    if latency is not None:
+                        samples.append(latency)
+            else:
+                win_records = seg.win_records
+                win_over = seg.win_over
+                consec = seg.consec_over_windows
+                for i in idxs:
+                    verdict = verdicts[i]
+                    seg_verdicts[verdict] = seg_verdicts.get(verdict, 0) + 1
+                    latency = latencies[i]
+                    if latency is None:
+                        continue
+                    samples.append(latency)
+                    win_records += 1
+                    if latency > budget:
+                        win_over += 1
+                    if win_records >= window_records_cfg:
+                        over = win_over > WINDOW_OVER_FRACTION * win_records
+                        win_records = 0
+                        win_over = 0
+                        if over:
+                            consec += 1
+                            if consec % latency_windows_cfg == 0:
+                                outcome_at(i).latency_window_over_streak = (
+                                    consec
+                                )
+                        else:
+                            consec = 0
+                seg.win_records = win_records
+                seg.win_over = win_over
+                seg.consec_over_windows = consec
+            if samples:
+                seg.hist.add_many(samples)
+
+        if not flagged:
+            return []
+        for i in dup_indices:
+            out = flagged.get(i)
+            if out is not None:
+                out.duplicate = True
+        return [flagged[i] for i in sorted(flagged)]
 
     # ------------------------------------------------------------------
     # Fleet-wide summaries

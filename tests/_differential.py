@@ -1,0 +1,124 @@
+"""Differential fixture layer: run one scenario under every engine.
+
+The batched/columnar rework (calendar queue in the simulator kernel,
+struct-of-arrays ingest in the telemetry store) is sold on a single
+claim: *the fast path is observationally identical to the reference
+path*.  This module is the machinery that proves it.  It pins the
+engine feature flags (``REPRO_SIM_ENGINE`` / ``REPRO_TELEMETRY_ENGINE``)
+around a scenario callable, collects one result per engine, and
+asserts byte-identical canonical JSON across the set -- so a test body
+only has to say *what* to run, never *how* to flip engines.
+
+Canonicalization matters: "the dicts compare equal" is a weaker claim
+than the suite makes.  Every payload is serialized with sorted keys and
+fixed separators before comparison, so the assertion really is about
+bytes, and a diff prints the first divergent line instead of two
+ten-kilobyte blobs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+#: Simulator event-queue engines (see ``repro.sim.kernel``).
+SIM_ENGINES: Tuple[str, ...] = ("calendar", "heap")
+#: Telemetry ingest engines (see ``repro.telemetry.service``).
+TELEMETRY_ENGINES: Tuple[str, ...] = ("batched", "scalar")
+
+SIM_ENV = "REPRO_SIM_ENGINE"
+TELEMETRY_ENV = "REPRO_TELEMETRY_ENGINE"
+
+
+@contextlib.contextmanager
+def engine_env(
+    sim: Optional[str] = None, telemetry: Optional[str] = None
+) -> Iterator[None]:
+    """Pin the engine env vars for the duration of the block.
+
+    ``None`` leaves a variable untouched; previous values (including
+    absence) are restored on exit even when the body raises.
+    """
+    saved: Dict[str, Optional[str]] = {}
+    try:
+        for var, value in ((SIM_ENV, sim), (TELEMETRY_ENV, telemetry)):
+            if value is None:
+                continue
+            saved[var] = os.environ.get(var)
+            os.environ[var] = value
+        yield
+    finally:
+        for var, previous in saved.items():
+            if previous is None:
+                os.environ.pop(var, None)
+            else:
+                os.environ[var] = previous
+
+
+def canonical(payload: Any) -> str:
+    """Canonical JSON form of *payload* (sorted keys, no whitespace).
+
+    Tuples become lists, enums/objects fall back to ``str`` -- good
+    enough for digest payloads, which are plain types by construction.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), default=str
+    )
+
+
+def run_under_sim_engines(
+    fn: Callable[[], Any], engines: Tuple[str, ...] = SIM_ENGINES
+) -> Dict[str, Any]:
+    """Run *fn* once per simulator engine; returns ``{engine: result}``."""
+    results = {}
+    for engine in engines:
+        with engine_env(sim=engine):
+            results[engine] = fn()
+    return results
+
+
+def run_under_telemetry_engines(
+    fn: Callable[[], Any], engines: Tuple[str, ...] = TELEMETRY_ENGINES
+) -> Dict[str, Any]:
+    """Run *fn* once per telemetry engine; returns ``{engine: result}``."""
+    results = {}
+    for engine in engines:
+        with engine_env(telemetry=engine):
+            results[engine] = fn()
+    return results
+
+
+def assert_identical(results: Dict[str, Any], context: str = "") -> str:
+    """Assert every engine produced byte-identical canonical JSON.
+
+    Returns the (shared) canonical form so callers can pin it against
+    goldens too.  On mismatch the error names the engine pair and the
+    first line where the serializations diverge.
+    """
+    assert len(results) >= 2, "need at least two engines to differ"
+    items = sorted(results.items())
+    ref_engine, ref_payload = items[0]
+    ref = canonical(ref_payload)
+    for engine, payload in items[1:]:
+        got = canonical(payload)
+        if got != ref:
+            where = _first_divergence(ref, got)
+            raise AssertionError(
+                f"{context or 'payload'}: engine {engine!r} diverges from "
+                f"{ref_engine!r} at {where}"
+            )
+    return ref
+
+
+def _first_divergence(a: str, b: str) -> str:
+    """Human-oriented pointer at the first differing character."""
+    limit = min(len(a), len(b))
+    for i in range(limit):
+        if a[i] != b[i]:
+            lo = max(0, i - 40)
+            return (
+                f"offset {i}: ...{a[lo:i + 40]!r} != ...{b[lo:i + 40]!r}"
+            )
+    return f"length {len(a)} != {len(b)}"

@@ -221,3 +221,86 @@ class TestCli:
         code = repro_main(["bench", "--suite", "kernel", "--quick"])
         assert code == 0
         assert "noop" in capsys.readouterr().out
+
+
+class TestOnlyFilter:
+    """The --only selector: validation, floor expansion, compare scope."""
+
+    @pytest.fixture
+    def paired_suite(self, monkeypatch):
+        """Two benches where "fast" is floor-gated against "slow"."""
+        import repro.bench.harness as harness
+
+        monkeypatch.setitem(
+            SUITES,
+            "kernel",
+            [
+                ("fast", "kernel", "events", lambda: 10),
+                ("slow", "kernel", "events", lambda: 10),
+                ("other", "kernel", "events", lambda: 10),
+            ],
+        )
+        monkeypatch.setitem(SUITES, "e2e", [])
+        # A floor that any timing satisfies: the point is reference
+        # expansion, not the ratio.
+        monkeypatch.setitem(
+            harness.THROUGHPUT_FLOORS, "fast", ("slow", 1e-9)
+        )
+
+    def test_runs_only_selected(self, paired_suite, capsys):
+        code = bench_cli.main(["--quick", "--only", "other"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "other" in out
+        assert "fast" not in out
+
+    def test_floor_reference_pulled_in(self, paired_suite, capsys):
+        results = run_suite("kernel", quick=True, only=["fast"])
+        assert {r.name for r in results} == {"fast", "slow"}
+        code = bench_cli.main(["--quick", "--only", "fast"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "slow" in out  # reference ran alongside
+        assert "floor fast" in out  # and the gate was checked
+
+    def test_unknown_name_rejected(self, paired_suite, capsys):
+        code = bench_cli.main(["--quick", "--only", "nonsense"])
+        assert code == 2
+        assert "unknown benchmark" in capsys.readouterr().out
+        with pytest.raises(ValueError):
+            run_suite("kernel", only=["nonsense"])
+
+    def test_only_with_out_refused(self, paired_suite, tmp_path, capsys):
+        code = bench_cli.main(
+            ["--quick", "--only", "other", "--out", str(tmp_path)]
+        )
+        assert code == 2
+        assert "partial baseline" in capsys.readouterr().out
+        assert not (tmp_path / "BENCH_kernel.json").exists()
+
+    def test_compare_restricted_to_ran_benches(
+        self, paired_suite, tmp_path, capsys
+    ):
+        baseline = tmp_path / "BENCH_kernel.json"
+        code = bench_cli.main(
+            ["--suite", "kernel", "--quick", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        capsys.readouterr()
+        # Full baseline on disk, filtered run: the benches that did not
+        # run must not be reported MISSING.
+        code = bench_cli.main(
+            ["--quick", "--only", "other",
+             "--compare", str(baseline), "--threshold", "1000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MISSING" not in out
+
+    def test_comma_and_repeat_forms(self, paired_suite, capsys):
+        code = bench_cli.main(
+            ["--quick", "--only", "other,slow", "--only", "fast"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "other" in out and "slow" in out and "fast" in out
